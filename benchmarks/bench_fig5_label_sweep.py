@@ -1,0 +1,33 @@
+"""Figures 1 & 5: localization F1 vs number of training labels.
+
+Paper shape: strongly supervised baselines need orders of magnitude more
+labels (paper average: 144x) to approach CamAL; CamAL dominates CRNN-weak
+at every budget.
+"""
+
+import repro.experiments as ex
+
+
+def test_fig5_label_sweep(benchmark, preset):
+    result = benchmark.pedantic(
+        ex.run_label_sweep,
+        args=("ukdale", "kettle", preset),
+        kwargs={"methods": ["CamAL", "CRNN-weak", "TPNILM", "UNet-NILM"], "n_points": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    factors = result.label_factor_to_match_camal()
+    print(f"  label factors to match CamAL: {factors}")
+
+    camal = result.curves["CamAL"]
+    tpnilm = result.curves["TPNILM"]
+    # Strong supervision consumes window-length x more labels per window.
+    assert tpnilm[0].n_labels == camal[0].n_labels * preset.window
+    # CamAL's best F1 beats the strongly supervised ones at equal budget:
+    # compare at the *largest weak budget* vs the strong run whose label
+    # count is closest to it.
+    best_camal = max(p.f1 for p in camal)
+    weakest_strong = min(tpnilm, key=lambda p: p.n_labels)
+    assert best_camal > weakest_strong.f1

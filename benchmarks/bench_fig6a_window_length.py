@@ -1,0 +1,26 @@
+"""Fig. 6(a): impact of the training window length (how weak can labels be?).
+
+Paper shape: small appliances (kettle) tolerate short windows; the curve
+degrades (or training becomes impossible — no negative samples) as the
+window grows past the appliance's usage period.
+"""
+
+import math
+
+import repro.experiments as ex
+
+
+def test_fig6a_window_length(benchmark, preset):
+    result = benchmark.pedantic(
+        ex.run_window_length,
+        args=("ukdale", "kettle", preset),
+        kwargs={"train_windows": (32, 64, 128)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert len(result.points) == 3
+    finite = [f1 for _, f1 in result.points if not math.isnan(f1)]
+    assert finite, "at least one window length must be trainable"
+    assert all(0.0 <= f1 <= 1.0 for f1 in finite)

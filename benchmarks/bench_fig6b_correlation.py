@@ -1,0 +1,26 @@
+"""Fig. 6(b): detection (Balanced Accuracy) vs localization (F1) correlation.
+
+Paper shape: positive correlation with a 3rd-order trend; high detection
+accuracy (>0.9) implies good localization (>0.7), not vice versa.
+"""
+
+import repro.experiments as ex
+
+CASES = [
+    ("ukdale", "kettle"),
+    ("ukdale", "dishwasher"),
+    ("ukdale", "microwave"),
+    ("edf_ev", "electric_vehicle"),
+]
+
+
+def test_fig6b_detection_localization_correlation(benchmark, preset):
+    result = benchmark.pedantic(
+        ex.run_correlation, args=(preset,), kwargs={"cases": CASES}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert len(result.points) == len(CASES)
+    assert result.cubic_coefficients is not None
+    # Positive association between detection and localization quality.
+    assert result.pearson() > 0.0

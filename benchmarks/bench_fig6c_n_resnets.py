@@ -1,0 +1,23 @@
+"""Fig. 6(c): CamAL performance vs the number of ResNets in the ensemble.
+
+Paper shape: classification score stays stable; localization peaks around
+4-5 ResNets and is minimal with a single one.
+"""
+
+import repro.experiments as ex
+
+
+def test_fig6c_ensemble_size(benchmark, preset):
+    result = benchmark.pedantic(
+        ex.run_ensemble_size,
+        args=(preset,),
+        kwargs={"corpus_name": "ukdale", "appliances": ["kettle"], "sizes": (1, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert [n for n, _, _ in result.points] == [1, 2]
+    for _, f1, balacc in result.points:
+        assert 0.0 <= f1 <= 1.0
+        assert 0.0 <= balacc <= 1.0

@@ -1,0 +1,27 @@
+"""Fig. 9: monetary / carbon / storage costs of the three label schemes.
+
+Paper shape: per-timestamp labels cost orders of magnitude more dollars
+and gCO2 than possession questionnaires; strong-label storage is ~6x the
+weak-label storage (1M households, 5 appliances, 1-minute sampling).
+"""
+
+import pytest
+
+import repro.experiments as ex
+
+
+def test_fig9_cost_comparison(benchmark):
+    result = benchmark.pedantic(
+        ex.run_cost_analysis, kwargs={"n_households": 1_000_000}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    strong, weak, possession = result.per_household
+    # >2 orders of magnitude between strong and possession ($ and gCO2).
+    assert strong.dollars_per_household / possession.dollars_per_household > 100
+    assert strong.gco2_per_household / possession.gco2_per_household > 100
+    # Storage ratio ~6x (1 aggregate + 5 appliance channels vs aggregate).
+    assert result.storage_ratio == pytest.approx(6.0, rel=0.01)
+    # Strong-label storage for 1M homes lands in the paper's ~15-25 TB band.
+    assert 10.0 < strong.storage_terabytes < 40.0

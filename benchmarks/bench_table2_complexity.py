@@ -1,0 +1,15 @@
+"""Table II: theoretical complexity and trainable-parameter counts."""
+
+import repro.experiments as ex
+
+
+def test_table2_complexity(benchmark):
+    result = benchmark.pedantic(ex.run_complexity_table, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    # Shape check: every implementation lands within 10% of the paper.
+    assert all(row.relative_error < 0.10 for row in result.rows)
+    # Ordering check: TransNILM heaviest, BiGRU lightest (as in the paper).
+    counts = {r.model: r.ours_params_k for r in result.rows}
+    assert counts["TransNILM"] == max(counts.values())
+    assert counts["BiGRU"] == min(counts.values())

@@ -1,0 +1,64 @@
+"""Quickstart: train CamAL on a synthetic UK-DALE-like corpus and localize
+kettle activations in unseen houses.
+
+Run:  python examples/quickstart.py        (~1 minute on a laptop CPU)
+
+Steps shown:
+ 1. build a simulated corpus (5 houses, 1-minute sampling, Table-I params);
+ 2. preprocess into non-overlapping windows with weak (window-level) labels;
+ 3. train the CamAL ResNet ensemble (Algorithm 1) on weak labels only;
+ 4. localize per-timestamp activations on held-out houses;
+ 5. reconstruct appliance power and print the §V-D metrics.
+"""
+
+import numpy as np
+
+import repro.experiments as ex
+from repro import simdata as sd
+
+APPLIANCE = "kettle"
+
+
+def ascii_strip(values, width=80, symbol="#"):
+    """Tiny terminal sparkline: mark positions where values > 0."""
+    values = np.asarray(values)
+    bins = np.array_split(values, width)
+    return "".join(symbol if chunk.max() > 0 else "." for chunk in bins)
+
+
+def main():
+    preset = ex.scaled(ex.get_preset("fast"), corpus_days={"ukdale": 6.0, "refit": 4.0,
+                       "ideal": 4.0, "edf_ev": 30.0, "edf_weak": 20.0})
+    print(f"Building UK-DALE-like corpus ({preset.corpus_days['ukdale']:.0f} days/house)...")
+    corpus = ex.build_corpus("ukdale", preset)
+    case = ex.case_windows(corpus, APPLIANCE, preset.window, split_seed=0)
+    print(
+        f"  train/val/test windows: {len(case.train)}/{len(case.val)}/{len(case.test)}"
+        f"  (window = {preset.window} minutes, weak labels only)"
+    )
+
+    print("Training the CamAL ensemble (Algorithm 1)...")
+    result, camal = ex.run_camal(case, preset, seed=0)
+
+    print("\n=== CamAL results on unseen houses ===")
+    print(f"  detection balanced accuracy : {result.balanced_accuracy:.3f}")
+    print(f"  localization F1 / Pr / Rc   : {result.f1:.3f} / {result.precision:.3f} / {result.recall:.3f}")
+    print(f"  energy MAE / RMSE (Watts)   : {result.mae_watts:.1f} / {result.rmse_watts:.1f}")
+    print(f"  matching ratio              : {result.matching_ratio:.3f}")
+    print(f"  labels used for training    : {result.n_labels} (one per window)")
+    strong_equivalent = result.n_labels * preset.window
+    print(f"  strong-label equivalent     : {strong_equivalent} (one per timestamp)")
+
+    # Visualize one positive test window.
+    output = camal.localize(case.test.inputs)
+    positives = np.flatnonzero(case.test.weak == 1)
+    if len(positives):
+        i = int(positives[0])
+        print(f"\nWindow {i} (appliance present):")
+        print(f"  truth : {ascii_strip(case.test.strong[i])}")
+        print(f"  CamAL : {ascii_strip(output.status[i])}")
+        print(f"  CAM   : {ascii_strip(np.maximum(output.cam[i] - 0.5, 0), symbol='^')}")
+
+
+if __name__ == "__main__":
+    main()

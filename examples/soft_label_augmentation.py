@@ -1,0 +1,50 @@
+"""RQ5 showcase: CamAL soft labels rescue strongly supervised baselines.
+
+Run:  python examples/soft_label_augmentation.py    (~2 minutes)
+
+Reproduces §V-I / Fig. 10: a CamAL trained with possession labels only
+generates per-timestamp "soft labels" on unlabeled households; strongly
+supervised NILM baselines trained on mixes of scarce ground truth and
+CamAL soft labels recover most of their full-supervision accuracy.
+"""
+
+import repro.experiments as ex
+
+
+def main():
+    preset = ex.scaled(
+        ex.get_preset("fast"),
+        corpus_days={"ukdale": 6.0, "refit": 4.0, "ideal": 4.0, "edf_ev": 40.0, "edf_weak": 30.0},
+        edf_weak_houses=40,
+    )
+    print("Step 1 — train CamAL on possession labels (no EV ground truth at all)...")
+    edf_weak = ex.build_corpus("edf_weak", preset)
+    edf_ev = ex.build_corpus("edf_ev", preset)
+    possession = ex.run_possession_pipeline(
+        edf_weak, edf_ev, "electric_vehicle", preset,
+        window_candidates=(preset.window,), seed=0,
+    )
+    print(f"  CamAL (possession-only) localization F1: {possession.localization.f1:.3f}")
+
+    print("\nStep 2 — label the EV training houses with CamAL and train baselines")
+    print("on strong/soft household mixes (Fig. 10 protocol)...")
+    figure10 = ex.run_figure10(
+        possession.camal,
+        edf_ev,
+        preset,
+        methods=["TPNILM", "BiGRU"],
+        mixes=((0, 8), (2, 6), (4, 4)),
+        seed=0,
+    )
+    print()
+    print(figure10.render())
+
+    print("\nReading the curves: 'x/y' means x households with ground-truth")
+    print("(strong) labels plus y households labeled by CamAL (soft). Compare")
+    print("'strong+soft' against 'strong only' at the same x: when strong")
+    print("labels are scarce, CamAL's soft labels recover most of the gap —")
+    print("the paper reports +34% (TPNILM) to +1200% (BiGRU).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim: metadata lives in setup.cfg.
+
+A classic setup.py (rather than PEP 517 metadata in pyproject.toml) keeps
+``pip install -e .`` working in offline environments that lack the
+``wheel`` package needed for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""CamAL reproduction: weakly supervised appliance localization.
+
+Reproduction of *"Few Labels are All you Need: A Weakly Supervised
+Framework for Appliance Localization in Smart-Meter Series"* (Petralia,
+Boniol, Charpentier, Palpanas — ICDE 2025).
+
+Package layout:
+
+* :mod:`repro.nn` — from-scratch NumPy deep-learning substrate;
+* :mod:`repro.simdata` — synthetic smart-meter corpora (Table I datasets);
+* :mod:`repro.core` — CamAL (ResNet ensemble + CAM localization);
+* :mod:`repro.baselines` — NILM comparison methods (§V-C);
+* :mod:`repro.metrics` — evaluation measures (§V-D) and the Fig. 9 costs;
+* :mod:`repro.experiments` — per-table/figure runners;
+* :mod:`repro.training` — shared training loops.
+
+Quickstart::
+
+    from repro import experiments as ex
+    preset = ex.get_preset("fast")
+    corpus = ex.build_corpus("ukdale", preset)
+    case = ex.case_windows(corpus, "kettle", preset.window)
+    result, camal = ex.run_camal(case, preset)
+    print(result.f1)
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, core, metrics, nn, simdata, training
+
+__all__ = ["nn", "simdata", "core", "baselines", "metrics", "training", "__version__"]

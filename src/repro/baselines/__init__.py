@@ -1,0 +1,29 @@
+"""``repro.baselines`` — the NILM comparison methods of §V-C.
+
+Strongly supervised sequence-to-sequence baselines (trained with one label
+per timestamp): :class:`UNetNILM`, :class:`TPNILM`, :class:`BiGRUNILM`,
+:class:`TransNILM`, :class:`CRNN`.  Weakly supervised baseline (one label
+per window): :class:`CRNN` trained through ``forward_weak`` (MIL pooling).
+:class:`CombinatorialOptimization` is the historical Hart-1992 reference.
+"""
+
+from .bigru import BiGRUConfig, BiGRUNILM
+from .co import CombinatorialOptimization
+from .crnn import CRNN, CRNNConfig
+from .tpnilm import TPNILM, TPNILMConfig
+from .transnilm import TransNILM, TransNILMConfig
+from .unet_nilm import UNetConfig, UNetNILM
+
+__all__ = [
+    "CRNN",
+    "CRNNConfig",
+    "BiGRUNILM",
+    "BiGRUConfig",
+    "UNetNILM",
+    "UNetConfig",
+    "TPNILM",
+    "TPNILMConfig",
+    "TransNILM",
+    "TransNILMConfig",
+    "CombinatorialOptimization",
+]

@@ -1,0 +1,46 @@
+"""BiGRU baseline (Precioso & Gomez-Ullate, J. Supercomputing 2023).
+
+Convolution + bidirectional GRU + per-timestamp dense head; the lightest
+recurrent baseline in the comparison (Table II: 244K parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class BiGRUConfig:
+    """Sizes chosen to land near Table II's 244K trainable parameters."""
+
+    conv_channels: int = 64
+    kernel_size: int = 5
+    hidden_size: int = 172
+    dropout: float = 0.1
+    seed: int = 0
+
+
+class BiGRUNILM(nn.Module):
+    """Conv1d -> biGRU -> frame logits ``(N, L)``."""
+
+    def __init__(self, config: BiGRUConfig = BiGRUConfig()):
+        super().__init__()
+        self.config = config
+        base = config.seed * 100
+        self.conv = nn.Conv1d(1, config.conv_channels, config.kernel_size, seed=base + 1)
+        self.norm = nn.BatchNorm1d(config.conv_channels)
+        self.gru = nn.GRU(
+            config.conv_channels, config.hidden_size, bidirectional=True, seed=base + 2
+        )
+        self.dropout = nn.Dropout(config.dropout, seed=base + 3)
+        self.head = nn.Linear(2 * config.hidden_size, 1, seed=base + 4)
+
+    def forward(self, x: Tensor) -> Tensor:
+        feats = self.norm(self.conv(x)).relu()  # (N, C, L)
+        hidden = self.dropout(self.gru(feats.transpose(0, 2, 1)))  # (N, L, 2H)
+        frame = self.head(hidden)
+        n, length, _ = frame.shape
+        return frame.reshape(n, length)

@@ -1,0 +1,60 @@
+"""Combinatorial Optimization baseline (Hart, Proc. IEEE 1992).
+
+The original NILM formulation: at each timestamp, find the subset of known
+appliances whose summed rated powers best explains the aggregate reading.
+Included as a historical reference point (§II-A1); it needs no training but
+requires the rated power of every appliance.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+def _all_subsets(names: Sequence[str]):
+    return chain.from_iterable(combinations(names, r) for r in range(len(names) + 1))
+
+
+class CombinatorialOptimization:
+    """Per-timestamp subset search over rated appliance powers.
+
+    Args:
+        rated_powers: appliance name -> rated power in Watts.
+        base_load_watts: constant household baseline subtracted from the
+            aggregate before matching.
+    """
+
+    def __init__(self, rated_powers: Dict[str, float], base_load_watts: float = 150.0):
+        if not rated_powers:
+            raise ValueError("CO needs at least one appliance")
+        if len(rated_powers) > 16:
+            raise ValueError("CO subset search is exponential; use <= 16 appliances")
+        self.rated_powers = dict(rated_powers)
+        self.base_load_watts = base_load_watts
+        names = sorted(self.rated_powers)
+        self._names = names
+        subsets = list(_all_subsets(names))
+        self._subset_powers = np.array(
+            [sum(self.rated_powers[n] for n in subset) for subset in subsets],
+            dtype=np.float64,
+        )
+        self._membership = {
+            name: np.array([name in subset for subset in subsets]) for name in names
+        }
+
+    def predict_status(self, aggregate_watts: np.ndarray, appliance: str) -> np.ndarray:
+        """Binary status of ``appliance`` for each timestamp of the input.
+
+        Accepts 1-D series or ``(N, L)`` windows; returns the same shape.
+        """
+        if appliance not in self.rated_powers:
+            raise KeyError(f"unknown appliance {appliance!r}")
+        aggregate = np.asarray(aggregate_watts, dtype=np.float64)
+        residual = np.maximum(aggregate - self.base_load_watts, 0.0)
+        # (..., n_subsets) distance matrix; argmin picks the explanation.
+        diff = np.abs(residual[..., None] - self._subset_powers)
+        best = np.argmin(diff, axis=-1)
+        return self._membership[appliance][best].astype(np.float32)

@@ -1,0 +1,74 @@
+"""CRNN baseline (Tanoni et al., IEEE TSG 2023) — strong and weak variants.
+
+A convolutional recurrent network: a stack of ConvBlocks extracts local
+features, a bidirectional GRU models temporal context, and a linear head
+emits per-timestamp (frame) logits.
+
+* **CRNN (strong)** is trained with frame-level BCE on per-timestamp labels.
+* **CRNN-weak** is the multiple-instance-learning variant: frame
+  probabilities are pooled into one sequence probability with *linear
+  softmax pooling* ``p_seq = sum(p_t^2) / sum(p_t)`` and trained with
+  window-level BCE only.  Localization at test time still reads the frame
+  probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class CRNNConfig:
+    """Sizes chosen to land near Table II's 1049K trainable parameters."""
+
+    conv_channels: Tuple[int, ...] = (32, 64, 128)
+    kernel_size: int = 5
+    hidden_size: int = 350
+    dropout: float = 0.1
+    seed: int = 0
+
+
+class CRNN(nn.Module):
+    """Conv stack -> biGRU -> frame logits ``(N, L)``."""
+
+    def __init__(self, config: CRNNConfig = CRNNConfig()):
+        super().__init__()
+        self.config = config
+        base = config.seed * 100
+        blocks = []
+        in_ch = 1
+        for i, out_ch in enumerate(config.conv_channels):
+            blocks.append(nn.Conv1d(in_ch, out_ch, config.kernel_size, seed=base + i))
+            blocks.append(nn.BatchNorm1d(out_ch))
+            blocks.append(nn.ReLU())
+            in_ch = out_ch
+        self.encoder = nn.Sequential(*blocks)
+        self.gru = nn.GRU(in_ch, config.hidden_size, bidirectional=True, seed=base + 50)
+        self.dropout = nn.Dropout(config.dropout, seed=base + 60)
+        self.head = nn.Linear(2 * config.hidden_size, 1, seed=base + 70)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Frame logits ``(N, L)`` from ``(N, 1, L)`` input."""
+        feats = self.encoder(x)  # (N, C, L)
+        seq = feats.transpose(0, 2, 1)  # (N, L, C)
+        hidden = self.dropout(self.gru(seq))  # (N, L, 2H)
+        frame = self.head(hidden)  # (N, L, 1)
+        n, length, _ = frame.shape
+        return frame.reshape(n, length)
+
+    def forward_weak(self, x: Tensor) -> Tensor:
+        """Pooled sequence logit ``(N,)`` via linear softmax pooling (MIL)."""
+        frame_logits = self.forward(x)
+        probs = frame_logits.sigmoid()
+        eps = 1e-6
+        pooled = (probs * probs).sum(axis=1) / (probs.sum(axis=1) + eps)
+        pooled = pooled.clip(eps, 1.0 - eps)
+        # Convert the pooled probability back to a logit so the shared
+        # BCE-with-logits loss applies.
+        return (pooled / (1.0 - pooled)).log()

@@ -1,0 +1,77 @@
+"""TPNILM baseline (Massidda et al., Applied Sciences 2020).
+
+Temporal-pooling NILM: a convolutional encoder downsamples the sequence, a
+temporal pooling module summarizes it at several scales (PSP-style), the
+pooled context is concatenated back and a light decoder restores the
+per-timestamp resolution (Table II: 328K parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor, concat
+
+
+@dataclass(frozen=True)
+class TPNILMConfig:
+    """Sizes chosen to land near Table II's 328K trainable parameters."""
+
+    channels: Tuple[int, ...] = (56, 112, 224)  # encoder widths (pool /2 each)
+    pool_scales: Tuple[int, ...] = (1, 2, 4, 8)
+    kernel_size: int = 5
+    seed: int = 0
+
+
+class TPNILM(nn.Module):
+    """Encoder + temporal pooling + decoder, frame logits ``(N, L)``."""
+
+    def __init__(self, config: TPNILMConfig = TPNILMConfig()):
+        super().__init__()
+        self.config = config
+        base = config.seed * 100
+        k = config.kernel_size
+
+        encoder = []
+        in_ch = 1
+        for i, width in enumerate(config.channels):
+            encoder.append(nn.Conv1d(in_ch, width, k, seed=base + i))
+            encoder.append(nn.BatchNorm1d(width))
+            encoder.append(nn.ReLU())
+            encoder.append(nn.MaxPool1d(2))
+            in_ch = width
+        self.encoder = nn.Sequential(*encoder)
+        self.enc_channels = in_ch
+
+        # One 1x1 conv per pooling scale, shrinking to C / n_scales each.
+        branch_ch = max(in_ch // len(config.pool_scales), 1)
+        self.branches = nn.ModuleList(
+            [
+                nn.Conv1d(in_ch, branch_ch, 1, seed=base + 50 + i)
+                for i in range(len(config.pool_scales))
+            ]
+        )
+        self.branch_channels = branch_ch
+
+        merged = in_ch + branch_ch * len(config.pool_scales)
+        self.decoder_conv = nn.Conv1d(merged, in_ch, 1, seed=base + 90)
+        self.decoder_norm = nn.BatchNorm1d(in_ch)
+        self.head = nn.Conv1d(in_ch, 1, 1, seed=base + 91)
+
+    def forward(self, x: Tensor) -> Tensor:
+        length = x.shape[2]
+        feats = self.encoder(x)  # (N, C, L / 2^depth)
+        l_enc = feats.shape[2]
+        branches = [feats]
+        for scale, branch in zip(self.config.pool_scales, self.branches):
+            pooled = F.avg_pool1d(feats, min(scale, l_enc)) if scale > 1 else feats
+            squeezed = branch(pooled).relu()
+            branches.append(F.upsample_to1d(squeezed, l_enc))
+        merged = concat(branches, axis=1)
+        decoded = self.decoder_norm(self.decoder_conv(merged)).relu()
+        out = self.head(F.upsample_to1d(decoded, length))  # (N, 1, L)
+        n, _, l_out = out.shape
+        return out.reshape(n, l_out)

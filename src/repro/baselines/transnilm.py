@@ -1,0 +1,84 @@
+"""TransNILM baseline (Cheng et al., HDIS 2022).
+
+A transformer-based extension of temporal pooling: convolutional embedding,
+self-attention encoder blocks, a temporal pooling module and a decoder that
+restores per-timestamp logits.  The heaviest model in the comparison
+(Table II: 12418K parameters, dominated by the attention blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor, concat
+
+
+@dataclass(frozen=True)
+class TransNILMConfig:
+    """Sizes chosen to land near Table II's 12418K trainable parameters."""
+
+    embed_dim: int = 512
+    num_heads: int = 8
+    num_layers: int = 4
+    ff_dim: int = 2048
+    pool_scales: Tuple[int, ...] = (1, 2, 4, 8)
+    downsample: int = 4  # conv-embedding pooling factor
+    kernel_size: int = 5
+    dropout: float = 0.1
+    seed: int = 0
+
+
+class TransNILM(nn.Module):
+    """Conv embedding -> transformer encoder -> temporal pooling -> decoder."""
+
+    def __init__(self, config: TransNILMConfig = TransNILMConfig()):
+        super().__init__()
+        self.config = config
+        base = config.seed * 100
+        self.embed_conv = nn.Conv1d(1, config.embed_dim, config.kernel_size, seed=base + 1)
+        self.embed_norm = nn.BatchNorm1d(config.embed_dim)
+        self.embed_pool = nn.MaxPool1d(config.downsample)
+        self.blocks = nn.ModuleList(
+            [
+                nn.TransformerEncoderLayer(
+                    config.embed_dim,
+                    config.num_heads,
+                    ff_dim=config.ff_dim,
+                    dropout=config.dropout,
+                    seed=base + 10 + i,
+                )
+                for i in range(config.num_layers)
+            ]
+        )
+        branch_ch = max(config.embed_dim // len(config.pool_scales), 1)
+        self.branches = nn.ModuleList(
+            [
+                nn.Conv1d(config.embed_dim, branch_ch, 1, seed=base + 60 + i)
+                for i in range(len(config.pool_scales))
+            ]
+        )
+        merged = config.embed_dim + branch_ch * len(config.pool_scales)
+        self.decoder_conv = nn.Conv1d(merged, config.embed_dim // 2, 1, seed=base + 90)
+        self.decoder_norm = nn.BatchNorm1d(config.embed_dim // 2)
+        self.head = nn.Conv1d(config.embed_dim // 2, 1, 1, seed=base + 91)
+
+    def forward(self, x: Tensor) -> Tensor:
+        length = x.shape[2]
+        feats = self.embed_pool(self.embed_norm(self.embed_conv(x)).relu())
+        seq = feats.transpose(0, 2, 1)  # (N, L', D)
+        for block in self.blocks:
+            seq = block(seq)
+        feats = seq.transpose(0, 2, 1)  # (N, D, L')
+        l_enc = feats.shape[2]
+        branches = [feats]
+        for scale, branch in zip(self.config.pool_scales, self.branches):
+            pooled = F.avg_pool1d(feats, min(scale, l_enc)) if scale > 1 else feats
+            branches.append(F.upsample_to1d(branch(pooled).relu(), l_enc))
+        merged = concat(branches, axis=1)
+        decoded = self.decoder_norm(self.decoder_conv(merged)).relu()
+        out = self.head(F.upsample_to1d(decoded, length))
+        n, _, l_out = out.shape
+        return out.reshape(n, l_out)

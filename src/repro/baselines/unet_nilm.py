@@ -1,0 +1,94 @@
+"""UNet-NILM baseline (Faustine et al., NILM'20).
+
+A 1-D U-Net adapted to appliance state detection: an encoder of strided
+(pooled) conv blocks, a bottleneck, and a decoder with skip connections,
+ending in per-timestamp logits.  The heaviest CNN in the comparison
+(Table II: 3197K parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .. import nn
+from ..nn.tensor import Tensor, concat
+
+
+@dataclass(frozen=True)
+class UNetConfig:
+    """Sizes chosen to land near Table II's 3197K trainable parameters."""
+
+    channels: Tuple[int, ...] = (56, 112, 224)  # encoder widths
+    bottleneck: int = 448
+    kernel_size: int = 5
+    seed: int = 0
+
+
+class _DoubleConv(nn.Module):
+    """Two ConvBlock(Conv -> BN -> ReLU) stages at a fixed width."""
+
+    def __init__(self, in_ch: int, out_ch: int, kernel: int, seed: int):
+        super().__init__()
+        self.conv1 = nn.Conv1d(in_ch, out_ch, kernel, seed=seed)
+        self.norm1 = nn.BatchNorm1d(out_ch)
+        self.conv2 = nn.Conv1d(out_ch, out_ch, kernel, seed=seed + 1)
+        self.norm2 = nn.BatchNorm1d(out_ch)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.norm1(self.conv1(x)).relu()
+        return self.norm2(self.conv2(x)).relu()
+
+
+class UNetNILM(nn.Module):
+    """1-D U-Net producing frame logits ``(N, L)``.
+
+    Input length must be divisible by ``2 ** len(channels)`` (510 and the
+    fast-preset window 128 both are, for the default 3-level encoder).
+    """
+
+    def __init__(self, config: UNetConfig = UNetConfig()):
+        super().__init__()
+        self.config = config
+        base = config.seed * 100
+        k = config.kernel_size
+
+        downs = []
+        in_ch = 1
+        for i, width in enumerate(config.channels):
+            downs.append(_DoubleConv(in_ch, width, k, base + 10 * i))
+            in_ch = width
+        self.downs = nn.ModuleList(downs)
+        self.pool = nn.MaxPool1d(2)
+        self.bottleneck = _DoubleConv(in_ch, config.bottleneck, k, base + 80)
+
+        ups = []
+        in_ch = config.bottleneck
+        for i, width in enumerate(reversed(config.channels)):
+            # After upsampling, the skip connection concatenates `width`
+            # channels onto the upsampled `in_ch`.
+            ups.append(_DoubleConv(in_ch + width, width, k, base + 200 + 10 * i))
+            in_ch = width
+        self.ups = nn.ModuleList(ups)
+        self.up = nn.UpsampleNearest1d(2)
+        self.head = nn.Conv1d(in_ch, 1, 1, seed=base + 300)
+
+    def forward(self, x: Tensor) -> Tensor:
+        length = x.shape[2]
+        factor = 2 ** len(self.downs)
+        if length % factor != 0:
+            raise ValueError(
+                f"UNetNILM needs input length divisible by {factor}, got {length}"
+            )
+        skips = []
+        for down in self.downs:
+            x = down(x)
+            skips.append(x)
+            x = self.pool(x)
+        x = self.bottleneck(x)
+        for up_block, skip in zip(self.ups, reversed(skips)):
+            x = self.up(x)
+            x = up_block(concat([skip, x], axis=1))
+        out = self.head(x)  # (N, 1, L)
+        n, _, l_out = out.shape
+        return out.reshape(n, l_out)

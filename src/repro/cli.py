@@ -1,0 +1,165 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro table3 --preset bench
+    python -m repro fig8 --preset fast
+    python -m repro all --preset bench          # everything, in order
+
+Each subcommand prints the same rows/series the paper reports; see
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import experiments as ex
+
+
+def _table2(preset: ex.Preset, seed: int) -> str:
+    return ex.run_complexity_table().render()
+
+
+def _table3(preset: ex.Preset, seed: int) -> str:
+    cases = [
+        ("ukdale", "kettle"),
+        ("ukdale", "dishwasher"),
+        ("refit", "kettle"),
+        ("edf_ev", "electric_vehicle"),
+    ]
+    return ex.run_weak_table(preset, cases=cases, seed=seed).render()
+
+
+def _table4(preset: ex.Preset, seed: int) -> str:
+    return ex.run_design_ablation(
+        preset, corpus_name="ukdale", appliances=["kettle", "dishwasher"], seed=seed
+    ).render()
+
+
+def _fig5(preset: ex.Preset, seed: int) -> str:
+    result = ex.run_label_sweep(
+        "ukdale", "kettle", preset,
+        methods=["CamAL", "CRNN-weak", "TPNILM"], n_points=3, seed=seed,
+    )
+    factors = result.label_factor_to_match_camal()
+    return result.render() + f"\n  label factors to match CamAL: {factors}"
+
+
+def _fig6a(preset: ex.Preset, seed: int) -> str:
+    windows = (preset.window // 2, preset.window, preset.window * 2)
+    return ex.run_window_length(
+        "ukdale", "kettle", preset, train_windows=windows, seed=seed
+    ).render()
+
+
+def _fig6b(preset: ex.Preset, seed: int) -> str:
+    cases = [
+        ("ukdale", "kettle"),
+        ("ukdale", "dishwasher"),
+        ("ukdale", "microwave"),
+        ("edf_ev", "electric_vehicle"),
+    ]
+    return ex.run_correlation(preset, cases=cases, seed=seed).render()
+
+
+def _fig6c(preset: ex.Preset, seed: int) -> str:
+    return ex.run_ensemble_size(
+        preset, corpus_name="ukdale", appliances=["kettle"], sizes=(1, 3, 5), seed=seed
+    ).render()
+
+
+def _fig7(preset: ex.Preset, seed: int) -> str:
+    parts = [
+        ex.run_training_times(
+            preset, [("ukdale", "kettle")], methods=["CamAL", "CRNN-weak", "TPNILM"],
+            seed=seed,
+        ).render(),
+        ex.run_epoch_times(
+            preset, (1, 2), methods=["CamAL", "TPNILM"],
+            series_length=preset.window * 8, seed=seed,
+        ).render(),
+        ex.run_throughput(
+            preset, (preset.window, preset.window * 2),
+            methods=["CamAL", "CRNN-weak", "TPNILM"], n_windows=8, seed=seed,
+        ).render(),
+    ]
+    return "\n\n".join(parts)
+
+
+def _fig8(preset: ex.Preset, seed: int) -> str:
+    edf_weak = ex.build_corpus("edf_weak", preset, seed)
+    edf_ev = ex.build_corpus("edf_ev", preset, seed)
+    return ex.run_figure8(
+        edf_weak, edf_ev, "electric_vehicle", preset,
+        window_candidates=(preset.window,), seed=seed,
+    ).render()
+
+
+def _fig9(preset: ex.Preset, seed: int) -> str:
+    return ex.run_cost_analysis().render()
+
+
+def _fig10(preset: ex.Preset, seed: int) -> str:
+    edf_weak = ex.build_corpus("edf_weak", preset, seed)
+    edf_ev = ex.build_corpus("edf_ev", preset, seed)
+    possession = ex.run_possession_pipeline(
+        edf_weak, edf_ev, "electric_vehicle", preset,
+        window_candidates=(preset.window,), seed=seed,
+    )
+    return ex.run_figure10(
+        possession.camal, edf_ev, preset,
+        methods=["TPNILM", "BiGRU"], mixes=((0, 8), (2, 6), (4, 4)), seed=seed,
+    ).render()
+
+
+COMMANDS: Dict[str, Callable[[ex.Preset, int], str]] = {
+    "table2": _table2,
+    "table3": _table3,
+    "table4": _table4,
+    "fig5": _fig5,
+    "fig6a": _fig6a,
+    "fig6b": _fig6b,
+    "fig6c": _fig6c,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the CamAL paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--preset",
+        default="bench",
+        choices=sorted(ex.PRESETS),
+        help="scale preset (default: bench)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    preset = ex.get_preset(args.preset)
+    names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"== {name} (preset={preset.name}) ==")
+        print(COMMANDS[name](preset, args.seed))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

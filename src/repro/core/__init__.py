@@ -1,0 +1,68 @@
+"""``repro.core`` — CamAL, the paper's primary contribution.
+
+* :mod:`repro.core.resnet` — the ResNet time-series classifier (Fig. 4);
+* :mod:`repro.core.ensemble` — Algorithm 1 ensemble training/selection;
+* :mod:`repro.core.cam` — class activation maps (Definition II.1);
+* :mod:`repro.core.localization` — the CAM-attention localization pipeline;
+* :mod:`repro.core.energy` — binary status -> power estimation (§IV-C);
+* :mod:`repro.core.soft_labels` — soft-label augmentation (RQ5, §V-I).
+"""
+
+from .cam import compute_cam, ensemble_cam, normalize_cam
+from .energy import estimate_power, estimate_power_adaptive
+from .ensemble import (
+    EnsembleConfig,
+    ResNetEnsemble,
+    TrainedCandidate,
+    train_ensemble,
+)
+from .localization import CamAL, LocalizationOutput
+from .persistence import load_camal, save_camal
+from .report import (
+    Activation,
+    ApplianceReport,
+    analyze_series,
+    household_report,
+    merge_close_segments,
+    segments_from_status,
+)
+from .resnet import (
+    DEFAULT_FILTERS,
+    DEFAULT_KERNEL_SET,
+    ConvBlock,
+    ResNetConfig,
+    ResNetTSC,
+    ResUnit,
+)
+from .soft_labels import SoftLabelSet, generate_soft_labels, mix_strong_and_soft
+
+__all__ = [
+    "ResNetTSC",
+    "ResNetConfig",
+    "ResUnit",
+    "ConvBlock",
+    "DEFAULT_KERNEL_SET",
+    "DEFAULT_FILTERS",
+    "compute_cam",
+    "normalize_cam",
+    "ensemble_cam",
+    "EnsembleConfig",
+    "ResNetEnsemble",
+    "TrainedCandidate",
+    "train_ensemble",
+    "CamAL",
+    "LocalizationOutput",
+    "estimate_power",
+    "estimate_power_adaptive",
+    "save_camal",
+    "load_camal",
+    "Activation",
+    "ApplianceReport",
+    "analyze_series",
+    "household_report",
+    "segments_from_status",
+    "merge_close_segments",
+    "SoftLabelSet",
+    "generate_soft_labels",
+    "mix_strong_and_soft",
+]

@@ -1,0 +1,145 @@
+"""Algorithm 1: training and selecting the CamAL ResNet ensemble.
+
+For each kernel size ``k_p`` in the kernel set, train ``n_trials`` ResNets
+on an 80/20 split of the training windows (the 20 % sub-split monitors
+training / early stopping), evaluate every candidate on the *separate*
+validation set, and keep the ``n`` models with the lowest validation loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..training import TrainConfig, evaluate_classifier_loss, predict_proba, train_classifier
+from .resnet import DEFAULT_FILTERS, DEFAULT_KERNEL_SET, ResNetConfig, ResNetTSC
+
+
+@dataclass
+class EnsembleConfig:
+    """Hyper-parameters of Algorithm 1."""
+
+    kernel_set: Tuple[int, ...] = DEFAULT_KERNEL_SET
+    n_trials: int = 3  # trials per kernel size (Algorithm 1, line 3)
+    n_models: int = 5  # ensemble size n (paper default)
+    filters: Tuple[int, int, int] = DEFAULT_FILTERS
+    train_sub_fraction: float = 0.8  # D_train-sub share (Algorithm 1, line 1)
+    train: TrainConfig = field(default_factory=TrainConfig)
+    seed: int = 0
+
+
+@dataclass
+class TrainedCandidate:
+    """One trained candidate with its selection score."""
+
+    model: ResNetTSC
+    kernel_size: int
+    trial: int
+    val_loss: float
+    wall_time_seconds: float
+
+
+class ResNetEnsemble:
+    """Container for the selected models; implements steps 1-2 of CamAL."""
+
+    def __init__(self, models: Sequence[ResNetTSC]):
+        if not models:
+            raise ValueError("ensemble needs at least one model")
+        self.models: List[ResNetTSC] = list(models)
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    @property
+    def kernel_sizes(self) -> List[int]:
+        return [m.kernel_size for m in self.models]
+
+    def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Ensemble detection probability: mean of member probabilities."""
+        probs = np.stack([predict_proba(m, x, batch_size) for m in self.models])
+        return probs.mean(axis=0)
+
+    def predict_detection(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary appliance-detection decision per window (Problem 1)."""
+        return (self.predict_proba(x) > threshold).astype(np.float32)
+
+    def num_parameters(self) -> int:
+        return sum(m.num_parameters() for m in self.models)
+
+    def eval(self) -> "ResNetEnsemble":
+        for model in self.models:
+            model.eval()
+        return self
+
+
+def _split_train_sub(
+    x: np.ndarray, y: np.ndarray, fraction: float, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random 80/20 split of the training windows (Algorithm 1, line 1)."""
+    n = len(x)
+    order = rng.permutation(n)
+    cut = max(1, int(round(fraction * n)))
+    cut = min(cut, n - 1) if n > 1 else 1
+    train_idx, monitor_idx = order[:cut], order[cut:]
+    if len(monitor_idx) == 0:
+        monitor_idx = train_idx[-1:]
+    return x[train_idx], y[train_idx], x[monitor_idx], y[monitor_idx]
+
+
+def train_ensemble(
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    config: Optional[EnsembleConfig] = None,
+) -> Tuple[ResNetEnsemble, List[TrainedCandidate]]:
+    """Run Algorithm 1 and return (selected ensemble, all candidates).
+
+    Args:
+        x_train / y_train: training windows ``(N, L)`` and weak labels.
+        x_val / y_val: the separate validation set used for model selection
+            (Algorithm 1's ``D_validation``).
+        config: ensemble and training hyper-parameters.
+    """
+    config = config or EnsembleConfig()
+    rng = np.random.default_rng(config.seed)
+    x_sub, y_sub, x_mon, y_mon = _split_train_sub(
+        np.asarray(x_train, dtype=np.float32),
+        np.asarray(y_train, dtype=np.int64),
+        config.train_sub_fraction,
+        rng,
+    )
+
+    candidates: List[TrainedCandidate] = []
+    for kernel_index, kernel_size in enumerate(config.kernel_set):
+        for trial in range(config.n_trials):
+            # The index term keeps seeds distinct even when the ablation
+            # passes the same kernel size several times.
+            model_seed = (
+                config.seed * 10_000 + kernel_index * 1_000 + kernel_size * 10 + trial
+            )
+            model = ResNetTSC(
+                ResNetConfig(
+                    kernel_size=kernel_size, filters=config.filters, seed=model_seed
+                )
+            )
+            train_cfg = replace(config.train, seed=model_seed)
+            result = train_classifier(model, x_sub, y_sub, x_mon, y_mon, train_cfg)
+            model.eval()
+            val_loss = evaluate_classifier_loss(model, x_val, y_val)
+            candidates.append(
+                TrainedCandidate(
+                    model=model,
+                    kernel_size=kernel_size,
+                    trial=trial,
+                    val_loss=val_loss,
+                    wall_time_seconds=result.wall_time_seconds,
+                )
+            )
+
+    # Algorithm 1, line 9: keep the n models with lowest validation loss.
+    ranked = sorted(candidates, key=lambda c: c.val_loss)
+    selected = [c.model for c in ranked[: config.n_models]]
+    return ResNetEnsemble(selected), candidates

@@ -1,0 +1,89 @@
+"""Saving and loading trained CamAL pipelines.
+
+A trained pipeline is a directory containing one ``member_<i>.npz`` state
+archive per ensemble ResNet plus a ``manifest.json`` describing each
+member's architecture and the pipeline's localization settings, so a
+pipeline can be reloaded without re-running Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from ..nn.serialization import load_state, save_state
+from .ensemble import ResNetEnsemble
+from .localization import CamAL
+from .resnet import ResNetConfig, ResNetTSC
+
+MANIFEST_NAME = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+def save_camal(camal: CamAL, directory: str) -> None:
+    """Persist a trained CamAL pipeline into ``directory``.
+
+    Writes ``manifest.json`` plus one ``member_<i>.npz`` per ensemble
+    member.  The directory is created if needed; existing member files are
+    overwritten.
+    """
+    os.makedirs(directory, exist_ok=True)
+    members = []
+    for i, model in enumerate(camal.ensemble.models):
+        filename = f"member_{i}.npz"
+        save_state(model, os.path.join(directory, filename))
+        config = model.config
+        members.append(
+            {
+                "file": filename,
+                "kernel_size": config.kernel_size,
+                "filters": list(config.filters),
+                "in_channels": config.in_channels,
+                "n_classes": config.n_classes,
+                "seed": config.seed,
+            }
+        )
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "detection_threshold": camal.detection_threshold,
+        "use_attention": camal.use_attention,
+        "power_gate_watts": camal.power_gate_watts,
+        "members": members,
+    }
+    with open(os.path.join(directory, MANIFEST_NAME), "w") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def load_camal(directory: str) -> CamAL:
+    """Reload a pipeline saved by :func:`save_camal`."""
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise FileNotFoundError(f"no {MANIFEST_NAME} in {directory!r}")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported manifest format_version {version!r}")
+
+    models = []
+    for member in manifest["members"]:
+        config = ResNetConfig(
+            kernel_size=int(member["kernel_size"]),
+            filters=tuple(member["filters"]),
+            in_channels=int(member["in_channels"]),
+            n_classes=int(member["n_classes"]),
+            seed=int(member["seed"]),
+        )
+        model = ResNetTSC(config)
+        load_state(model, os.path.join(directory, member["file"]))
+        model.eval()
+        models.append(model)
+
+    gate: Optional[float] = manifest["power_gate_watts"]
+    return CamAL(
+        ResNetEnsemble(models),
+        detection_threshold=float(manifest["detection_threshold"]),
+        use_attention=bool(manifest["use_attention"]),
+        power_gate_watts=None if gate is None else float(gate),
+    )

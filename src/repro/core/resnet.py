@@ -1,0 +1,112 @@
+"""ResNet time-series classifier — the CamAL ensemble backbone (Fig. 4).
+
+Architecture (Wang et al. 2016, as adapted by the paper):
+
+* three stacked residual units with ``{64, 128, 128}`` filters;
+* each unit contains three ConvBlocks (Conv1d -> BatchNorm -> ReLU) with
+  kernel sizes ``{k_p, 5, 3}`` — ``k_p`` is the ensemble-member-specific
+  kernel that diversifies receptive fields;
+* a residual (shortcut) connection around each unit, with a 1x1 conv when
+  the channel count changes;
+* Global Average Pooling over time, then a linear layer to 2 classes.
+
+The GAP + linear head is exactly the structure required for CAM
+(Definition II.1): the CAM for class ``c`` is the linear layer's weights
+applied to the last conv feature maps before pooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+#: Kernel sizes k_p used by the CamAL ensemble (paper §IV-A1).
+DEFAULT_KERNEL_SET: Tuple[int, ...] = (5, 7, 9, 15, 25)
+
+#: Filters of the three residual units (paper: {64, 128, 128}).
+DEFAULT_FILTERS: Tuple[int, int, int] = (64, 128, 128)
+
+
+@dataclass(frozen=True)
+class ResNetConfig:
+    """Hyper-parameters of one ensemble member."""
+
+    kernel_size: int = 7  # k_p
+    filters: Tuple[int, int, int] = DEFAULT_FILTERS
+    in_channels: int = 1
+    n_classes: int = 2
+    seed: int = 0
+
+
+class ConvBlock(nn.Module):
+    """Conv1d -> BatchNorm -> ReLU (the paper's ConvBlock)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, seed: int):
+        super().__init__()
+        self.conv = nn.Conv1d(in_channels, out_channels, kernel_size, seed=seed)
+        self.norm = nn.BatchNorm1d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.norm(self.conv(x)).relu()
+
+
+class ResUnit(nn.Module):
+    """Residual unit: three ConvBlocks with kernels (k_p, 5, 3) + shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, seed: int):
+        super().__init__()
+        self.block1 = ConvBlock(in_channels, out_channels, kernel_size, seed)
+        self.block2 = ConvBlock(out_channels, out_channels, 5, seed + 1)
+        self.block3 = ConvBlock(out_channels, out_channels, 3, seed + 2)
+        if in_channels != out_channels:
+            self.shortcut: Optional[nn.Conv1d] = nn.Conv1d(
+                in_channels, out_channels, 1, seed=seed + 3
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.block3(self.block2(self.block1(x)))
+        residual = self.shortcut(x) if self.shortcut is not None else x
+        return (out + residual).relu()
+
+
+class ResNetTSC(nn.Module):
+    """The full classifier: 3 residual units -> GAP -> linear -> logits.
+
+    :meth:`features` exposes the pre-GAP feature maps so that
+    :mod:`repro.core.cam` can compute class activation maps.
+    """
+
+    def __init__(self, config: ResNetConfig = ResNetConfig()):
+        super().__init__()
+        self.config = config
+        f1, f2, f3 = config.filters
+        base = config.seed * 100
+        self.unit1 = ResUnit(config.in_channels, f1, config.kernel_size, base + 10)
+        self.unit2 = ResUnit(f1, f2, config.kernel_size, base + 20)
+        self.unit3 = ResUnit(f2, f3, config.kernel_size, base + 30)
+        self.head = nn.Linear(f3, config.n_classes, seed=base + 40)
+
+    @property
+    def kernel_size(self) -> int:
+        return self.config.kernel_size
+
+    def features(self, x: Tensor) -> Tensor:
+        """Last conv feature maps, shape ``(N, C, L)``."""
+        return self.unit3(self.unit2(self.unit1(x)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Class logits ``(N, n_classes)`` from input ``(N, 1, L)``."""
+        feats = self.features(x)
+        pooled = nn.functional.global_avg_pool1d(feats)
+        return self.head(pooled)
+
+    def forward_with_features(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        """Return ``(logits, feature_maps)`` in one pass (used for CAM)."""
+        feats = self.features(x)
+        pooled = nn.functional.global_avg_pool1d(feats)
+        return self.head(pooled), feats

@@ -1,0 +1,83 @@
+"""Soft-label generation for data augmentation (RQ5, §V-I).
+
+A trained CamAL produces per-timestamp predictions on *unlabeled* windows;
+those predictions can then substitute for, or be mixed with, scarce strong
+labels when training strongly supervised NILM baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .localization import CamAL
+
+
+@dataclass
+class SoftLabelSet:
+    """Windows plus the labels CamAL generated for them."""
+
+    inputs: np.ndarray  # (N, L) scaled aggregate windows
+    soft_status: np.ndarray  # (N, L) CamAL binary status used as labels
+    detection_proba: np.ndarray  # (N,) window-level confidence
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+
+def generate_soft_labels(
+    camal: CamAL,
+    inputs: np.ndarray,
+    min_confidence: float = 0.0,
+) -> SoftLabelSet:
+    """Label ``inputs`` with CamAL's predicted status (the paper's soft labels).
+
+    Args:
+        camal: trained CamAL pipeline.
+        inputs: scaled aggregate windows ``(N, L)``.
+        min_confidence: drop windows whose detection probability lies inside
+            ``(min_confidence, 1 - min_confidence)`` — i.e. keep only
+            confidently ON or confidently OFF windows.  ``0`` keeps all.
+
+    Returns:
+        A :class:`SoftLabelSet` ready to feed ``train_seq2seq``.
+    """
+    inputs = np.asarray(inputs, dtype=np.float32)
+    output = camal.localize(inputs)
+    if min_confidence > 0.0:
+        confident = (output.detection_proba >= 1.0 - min_confidence) | (
+            output.detection_proba <= min_confidence
+        )
+        keep = np.flatnonzero(confident)
+    else:
+        keep = np.arange(len(inputs))
+    return SoftLabelSet(
+        inputs=inputs[keep],
+        soft_status=output.status[keep],
+        detection_proba=output.detection_proba[keep],
+    )
+
+
+def mix_strong_and_soft(
+    strong_inputs: np.ndarray,
+    strong_status: np.ndarray,
+    soft: SoftLabelSet,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate ground-truth windows with soft-labeled windows (§V-I).
+
+    Either side may be empty; the result is a training pool where soft
+    labels compensate for strong-label scarcity.
+    """
+    strong_inputs = np.asarray(strong_inputs, dtype=np.float32)
+    strong_status = np.asarray(strong_status, dtype=np.float32)
+    if len(strong_inputs) == 0:
+        return soft.inputs, soft.soft_status
+    if len(soft) == 0:
+        return strong_inputs, strong_status
+    if strong_inputs.shape[1] != soft.inputs.shape[1]:
+        raise ValueError("strong and soft windows have different lengths")
+    x = np.concatenate([strong_inputs, soft.inputs])
+    s = np.concatenate([strong_status, soft.soft_status])
+    return x, s

@@ -1,0 +1,188 @@
+"""RQ3 ablations: Table IV, Fig. 6(a) and Fig. 6(c).
+
+* Table IV — remove the attention-sigmoid module / the kernel diversity.
+* Fig. 6(a) — effect of the *training* window length (how weak can the
+  labels be?), evaluating on the standard test windows.
+* Fig. 6(c) — localization/classification versus the number of ResNets in
+  the ensemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import simdata as sd
+from .config import Preset
+from .reporting import render_series, render_table
+from .runner import CaseData, build_corpus, case_windows, house_windows, run_camal
+
+
+# ----------------------------------------------------------------------
+# Table IV — design ablation
+# ----------------------------------------------------------------------
+@dataclass
+class AblationRow:
+    variant: str
+    f1: float
+    precision: float
+    recall: float
+    mae_watts: float
+    matching_ratio: float
+
+
+@dataclass
+class AblationResult:
+    rows: List[AblationRow]
+
+    def render(self) -> str:
+        headers = ["Variant", "F1", "Pr", "Rc", "MAE", "MR"]
+        table = [
+            [r.variant, r.f1, r.precision, r.recall, r.mae_watts, r.matching_ratio]
+            for r in self.rows
+        ]
+        return render_table(headers, table, title="Table IV — CamAL design ablation (REFIT avg)")
+
+
+def run_design_ablation(
+    preset: Preset,
+    corpus_name: str = "refit",
+    appliances: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> AblationResult:
+    """Average the three CamAL variants over the corpus' target appliances."""
+    corpus = build_corpus(corpus_name, preset, seed)
+    appliances = list(appliances or corpus.target_appliances)
+    fixed_kernel = (preset.kernel_set[len(preset.kernel_set) // 2],) * len(preset.kernel_set)
+
+    variants = {
+        "CamAL": dict(use_attention=True),
+        "w/o Attention module": dict(use_attention=False),
+        "w/o Different kernel kp": dict(use_attention=True, kernel_set=fixed_kernel),
+    }
+    accum: Dict[str, List] = {name: [] for name in variants}
+    for appliance in appliances:
+        case = case_windows(corpus, appliance, preset.window, split_seed=seed)
+        for name, kwargs in variants.items():
+            result, _ = run_camal(case, preset, seed=seed, **kwargs)
+            accum[name].append(result)
+
+    rows = []
+    for name, results in accum.items():
+        rows.append(
+            AblationRow(
+                variant=name,
+                f1=float(np.mean([r.f1 for r in results])),
+                precision=float(np.mean([r.precision for r in results])),
+                recall=float(np.mean([r.recall for r in results])),
+                mae_watts=float(np.mean([r.mae_watts for r in results])),
+                matching_ratio=float(np.mean([r.matching_ratio for r in results])),
+            )
+        )
+    return AblationResult(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Fig. 6(a) — training window length
+# ----------------------------------------------------------------------
+@dataclass
+class WindowLengthResult:
+    corpus: str
+    appliance: str
+    points: List[Tuple[int, float]]  # (train window length, F1)
+
+    def render(self) -> str:
+        return render_series(
+            f"Fig. 6a — {self.appliance} ({self.corpus}) F1 vs train window",
+            [w for w, _ in self.points],
+            [f for _, f in self.points],
+        )
+
+
+def run_window_length(
+    corpus_name: str,
+    appliance: str,
+    preset: Preset,
+    train_windows: Sequence[int],
+    seed: int = 0,
+) -> WindowLengthResult:
+    """Train CamAL with different *training* window lengths (Fig. 6a).
+
+    The test set keeps the preset's standard window length, exactly as the
+    paper fixes test subsequences at 510.  Window lengths that produce no
+    negative training sample are reported with NaN (the paper's "no
+    negative sample for training" case).
+    """
+    corpus = build_corpus(corpus_name, preset, seed)
+    standard = case_windows(corpus, appliance, preset.window, split_seed=seed)
+    split = sd.split_houses(corpus, seed=seed)
+
+    points: List[Tuple[int, float]] = []
+    for train_window in train_windows:
+        pools = [
+            house_windows(corpus, appliance, hid, train_window) for hid in split.train
+        ]
+        train_pool = sd.concat_window_sets(pools)
+        if train_pool.weak.min() == 1.0 or train_pool.weak.max() == 0.0:
+            points.append((train_window, float("nan")))
+            continue
+        val_pools = [
+            house_windows(corpus, appliance, hid, train_window) for hid in split.val
+        ]
+        case = CaseData(
+            corpus=corpus_name,
+            appliance=appliance,
+            train=train_pool,
+            val=sd.concat_window_sets(val_pools),
+            test=standard.test,
+        )
+        result, _ = run_camal(case, preset, seed=seed)
+        points.append((train_window, result.f1))
+    return WindowLengthResult(corpus=corpus_name, appliance=appliance, points=points)
+
+
+# ----------------------------------------------------------------------
+# Fig. 6(c) — number of ResNets in the ensemble
+# ----------------------------------------------------------------------
+@dataclass
+class EnsembleSizeResult:
+    corpus: str
+    points: List[Tuple[int, float, float]]  # (n_resnets, F1, balanced accuracy)
+
+    def render(self) -> str:
+        lines = [f"Fig. 6c — {self.corpus}: scores vs number of ResNets"]
+        lines.append(
+            render_series(
+                "  localization F1", [p[0] for p in self.points], [p[1] for p in self.points]
+            )
+        )
+        lines.append(
+            render_series(
+                "  detection BalAcc", [p[0] for p in self.points], [p[2] for p in self.points]
+            )
+        )
+        return "\n".join(lines)
+
+
+def run_ensemble_size(
+    preset: Preset,
+    corpus_name: str = "refit",
+    appliances: Optional[Sequence[str]] = None,
+    sizes: Sequence[int] = (1, 3, 5),
+    seed: int = 0,
+) -> EnsembleSizeResult:
+    """Vary the ensemble size n (Fig. 6c), averaging over appliances."""
+    corpus = build_corpus(corpus_name, preset, seed)
+    appliances = list(appliances or corpus.target_appliances)
+    points = []
+    for n in sizes:
+        f1s, bals = [], []
+        for appliance in appliances:
+            case = case_windows(corpus, appliance, preset.window, split_seed=seed)
+            result, _ = run_camal(case, preset, seed=seed, n_models=n)
+            f1s.append(result.f1)
+            bals.append(result.balanced_accuracy)
+        points.append((n, float(np.mean(f1s)), float(np.mean(bals))))
+    return EnsembleSizeResult(corpus=corpus_name, points=points)

@@ -1,0 +1,144 @@
+"""RQ5 / Fig. 10: training strongly supervised baselines on CamAL soft labels.
+
+A CamAL trained with possession labels only (on the EDF-Weak-like corpus)
+labels the EDF-EV-like training houses; strongly supervised baselines are
+then trained on mixes of ground-truth ("strong") houses and CamAL-labeled
+("soft") houses, reproducing the 0/16 -> 4/12 -> 8/8 sweep of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import simdata as sd
+from ..core import CamAL, generate_soft_labels, mix_strong_and_soft
+from ..training import predict_status_seq2seq, train_seq2seq
+from .config import Preset
+from .reporting import render_series
+from .runner import CaseData, evaluate_status, house_windows, make_baseline
+
+
+@dataclass
+class SoftLabelCurve:
+    """F1 of one baseline across (strong, soft) household mixes."""
+
+    method: str
+    points: List[Tuple[int, int, float]]  # (n_strong_houses, n_soft_houses, F1)
+
+
+@dataclass
+class Figure10Result:
+    curves: List[SoftLabelCurve]
+    strong_only: List[SoftLabelCurve]
+
+    def render(self) -> str:
+        lines = ["Fig. 10 — baselines trained on CamAL soft labels (EDF-EV-like)"]
+        for curve in self.curves:
+            lines.append(
+                render_series(
+                    f"  {curve.method} (strong+soft)",
+                    [f"{p[0]}/{p[1]}" for p in curve.points],
+                    [round(p[2], 3) for p in curve.points],
+                )
+            )
+        for curve in self.strong_only:
+            lines.append(
+                render_series(
+                    f"  {curve.method} (strong only)",
+                    [f"{p[0]}/0" for p in curve.points],
+                    [round(p[2], 3) for p in curve.points],
+                )
+            )
+        return "\n".join(lines)
+
+
+def run_figure10(
+    camal: CamAL,
+    ev_corpus: sd.Corpus,
+    preset: Preset,
+    methods: Optional[Sequence[str]] = None,
+    mixes: Sequence[Tuple[int, int]] = ((0, 8), (2, 6), (4, 4)),
+    seed: int = 0,
+) -> Figure10Result:
+    """Train baselines on strong/soft household mixes and score them.
+
+    Args:
+        camal: a CamAL pipeline already trained without EV ground truth
+            (e.g. by the possession pipeline on the EDF-Weak-like corpus).
+        ev_corpus: submetered corpus providing strong labels and the test set.
+        mixes: (n_strong_houses, n_soft_houses) pairs; houses are disjoint.
+    """
+    methods = list(methods or ["CRNN", "BiGRU", "UNet-NILM", "TPNILM", "TransNILM"])
+    appliance = ev_corpus.target_appliances[0]
+    split = sd.split_houses(ev_corpus, seed=seed)
+    train_ids = list(split.train)
+    val_pool = sd.concat_window_sets(
+        [house_windows(ev_corpus, appliance, hid, preset.window) for hid in split.val]
+    )
+    test_pool = sd.concat_window_sets(
+        [house_windows(ev_corpus, appliance, hid, preset.window) for hid in split.test]
+    )
+    case = CaseData(
+        corpus=ev_corpus.name, appliance=appliance,
+        train=test_pool, val=val_pool, test=test_pool,
+    )
+
+    house_pools = {
+        hid: house_windows(ev_corpus, appliance, hid, preset.window) for hid in train_ids
+    }
+
+    curves, strong_only = [], []
+    for method in methods:
+        mixed_points, strong_points = [], []
+        for n_strong, n_soft in mixes:
+            n_strong = min(n_strong, len(train_ids))
+            n_soft = min(n_soft, len(train_ids) - n_strong)
+            strong_ids = train_ids[:n_strong]
+            soft_ids = train_ids[n_strong : n_strong + n_soft]
+
+            if strong_ids:
+                strong_pool = sd.concat_window_sets([house_pools[h] for h in strong_ids])
+                strong_x, strong_s = strong_pool.inputs, strong_pool.strong
+            else:
+                width = preset.window
+                strong_x = np.zeros((0, width), dtype=np.float32)
+                strong_s = np.zeros((0, width), dtype=np.float32)
+
+            soft_x = (
+                sd.concat_window_sets([house_pools[h] for h in soft_ids]).inputs
+                if soft_ids
+                else np.zeros((0, preset.window), dtype=np.float32)
+            )
+            soft = generate_soft_labels(camal, soft_x)
+            x_mix, s_mix = mix_strong_and_soft(strong_x, strong_s, soft)
+            if len(x_mix) == 0:
+                mixed_points.append((n_strong, n_soft, float("nan")))
+                continue
+
+            model = make_baseline(method, preset.baseline_scale, seed)
+            train_seq2seq(
+                model, x_mix, s_mix, val_pool.inputs, val_pool.strong,
+                preset.train_config(preset.seq2seq_epochs, seed),
+            )
+            model.eval()
+            status = predict_status_seq2seq(model, test_pool.inputs)
+            result = evaluate_status(method, case, status, 0.0, len(x_mix))
+            mixed_points.append((n_strong, n_soft, result.f1))
+
+            # Strong-only reference: same strong houses, no soft windows.
+            if len(strong_x) > 0:
+                ref = make_baseline(method, preset.baseline_scale, seed)
+                train_seq2seq(
+                    ref, strong_x, strong_s, val_pool.inputs, val_pool.strong,
+                    preset.train_config(preset.seq2seq_epochs, seed),
+                )
+                ref.eval()
+                ref_status = predict_status_seq2seq(ref, test_pool.inputs)
+                ref_result = evaluate_status(method, case, ref_status, 0.0, strong_s.size)
+                strong_points.append((n_strong, 0, ref_result.f1))
+        curves.append(SoftLabelCurve(method=method, points=mixed_points))
+        strong_only.append(SoftLabelCurve(method=method, points=strong_points))
+    return Figure10Result(curves=curves, strong_only=strong_only)

@@ -1,0 +1,143 @@
+"""Experiment presets: ``paper`` (faithful sizes), ``fast`` (laptop), ``bench``.
+
+Every experiment runner takes a :class:`Preset`; the three presets differ
+only in scale (windows, corpus days, model widths, epochs), never in code
+path, so the bench suite exercises exactly the pipeline the paper runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from ..core.ensemble import EnsembleConfig
+from ..training import TrainConfig
+
+#: The 11 dataset x appliance cases of Table III.
+TABLE3_CASES: Tuple[Tuple[str, str], ...] = (
+    ("refit", "dishwasher"),
+    ("refit", "kettle"),
+    ("refit", "microwave"),
+    ("refit", "washing_machine"),
+    ("ukdale", "dishwasher"),
+    ("ukdale", "kettle"),
+    ("ukdale", "microwave"),
+    ("ideal", "dishwasher"),
+    ("ideal", "shower"),
+    ("ideal", "washing_machine"),
+    ("edf_ev", "electric_vehicle"),
+)
+
+
+@dataclass(frozen=True)
+class Preset:
+    """Scale knobs shared by all experiment runners."""
+
+    name: str
+    window: int
+    # Corpus sizes (days of recording; house-count overrides where relevant).
+    corpus_days: Dict[str, float]
+    ideal_possession_houses: int
+    edf_weak_houses: int
+    # CamAL ensemble (Algorithm 1).
+    kernel_set: Tuple[int, ...]
+    n_trials: int
+    n_models: int
+    resnet_filters: Tuple[int, int, int]
+    # Training loops.
+    clf_epochs: int
+    seq2seq_epochs: int
+    batch_size: int
+    lr: float
+    patience: int
+    # Baseline width scale: "paper" keeps Table II sizes, "small" shrinks.
+    baseline_scale: str = "small"
+    seed: int = 0
+
+    def train_config(self, epochs: int, seed: int) -> TrainConfig:
+        return TrainConfig(
+            epochs=epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            patience=self.patience,
+            seed=seed,
+        )
+
+    def ensemble_config(self, seed: int) -> EnsembleConfig:
+        return EnsembleConfig(
+            kernel_set=self.kernel_set,
+            n_trials=self.n_trials,
+            n_models=self.n_models,
+            filters=self.resnet_filters,
+            train=self.train_config(self.clf_epochs, seed),
+            seed=seed,
+        )
+
+
+PAPER = Preset(
+    name="paper",
+    window=510,
+    corpus_days={"ukdale": 90.0, "refit": 60.0, "ideal": 30.0, "edf_ev": 397.0, "edf_weak": 270.0},
+    ideal_possession_houses=216,
+    edf_weak_houses=558,
+    kernel_set=(5, 7, 9, 15, 25),
+    n_trials=3,
+    n_models=5,
+    resnet_filters=(64, 128, 128),
+    clf_epochs=30,
+    seq2seq_epochs=30,
+    batch_size=64,
+    lr=1e-3,
+    patience=5,
+    baseline_scale="paper",
+)
+
+FAST = Preset(
+    name="fast",
+    window=128,
+    corpus_days={"ukdale": 8.0, "refit": 6.0, "ideal": 5.0, "edf_ev": 40.0, "edf_weak": 30.0},
+    ideal_possession_houses=40,
+    edf_weak_houses=60,
+    kernel_set=(3, 5, 9),
+    n_trials=1,
+    n_models=3,
+    resnet_filters=(32, 64, 64),
+    clf_epochs=10,
+    seq2seq_epochs=10,
+    batch_size=32,
+    lr=1e-3,
+    patience=4,
+    baseline_scale="small",
+)
+
+BENCH = Preset(
+    name="bench",
+    window=64,
+    corpus_days={"ukdale": 4.0, "refit": 3.0, "ideal": 3.0, "edf_ev": 24.0, "edf_weak": 20.0},
+    ideal_possession_houses=24,
+    edf_weak_houses=36,
+    kernel_set=(3, 9),
+    n_trials=1,
+    n_models=2,
+    resnet_filters=(16, 32, 32),
+    clf_epochs=5,
+    seq2seq_epochs=5,
+    batch_size=32,
+    lr=2e-3,
+    patience=3,
+    baseline_scale="tiny",
+)
+
+PRESETS: Dict[str, Preset] = {"paper": PAPER, "fast": FAST, "bench": BENCH}
+
+
+def get_preset(name: str) -> Preset:
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown preset {name!r}; known: {sorted(PRESETS)}") from None
+
+
+def scaled(preset: Preset, **overrides) -> Preset:
+    """Copy a preset with field overrides (e.g. fewer epochs for sweeps)."""
+    return replace(preset, **overrides)

@@ -1,0 +1,73 @@
+"""Fig. 6(b): detection (Balanced Accuracy) vs localization (F1).
+
+Each point is CamAL's scores for one dataset x appliance case; a cubic
+(3rd-order) least-squares fit summarizes the trend, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .config import TABLE3_CASES, Preset
+from .reporting import render_series
+from .runner import build_corpus, case_windows, run_camal
+
+
+@dataclass
+class CorrelationResult:
+    points: List[Tuple[str, str, float, float]]  # (corpus, appliance, balacc, f1)
+    cubic_coefficients: Optional[np.ndarray]  # highest degree first
+
+    def predict(self, balanced_accuracy: float) -> float:
+        if self.cubic_coefficients is None:
+            raise RuntimeError("not enough points for a cubic fit")
+        return float(np.polyval(self.cubic_coefficients, balanced_accuracy))
+
+    def pearson(self) -> float:
+        xs = np.array([p[2] for p in self.points])
+        ys = np.array([p[3] for p in self.points])
+        if len(xs) < 2 or xs.std() == 0 or ys.std() == 0:
+            return 0.0
+        return float(np.corrcoef(xs, ys)[0, 1])
+
+    def render(self) -> str:
+        lines = ["Fig. 6b — detection vs localization (one point per case)"]
+        lines.append(
+            render_series(
+                "  (BalAcc, F1)",
+                [round(p[2], 3) for p in self.points],
+                [round(p[3], 3) for p in self.points],
+            )
+        )
+        lines.append(f"  pearson r = {self.pearson():.3f}")
+        if self.cubic_coefficients is not None:
+            coefs = ", ".join(f"{c:.3f}" for c in self.cubic_coefficients)
+            lines.append(f"  cubic fit coefficients (deg 3 -> 0): {coefs}")
+        return "\n".join(lines)
+
+
+def run_correlation(
+    preset: Preset,
+    cases: Optional[Sequence[Tuple[str, str]]] = None,
+    seed: int = 0,
+) -> CorrelationResult:
+    """Collect (BalAcc, F1) across cases and fit the cubic trend."""
+    cases = list(cases or TABLE3_CASES)
+    corpora = {}
+    points = []
+    for corpus_name, appliance in cases:
+        if corpus_name not in corpora:
+            corpora[corpus_name] = build_corpus(corpus_name, preset, seed)
+        case = case_windows(corpora[corpus_name], appliance, preset.window, split_seed=seed)
+        result, _ = run_camal(case, preset, seed=seed)
+        points.append((corpus_name, appliance, result.balanced_accuracy, result.f1))
+
+    coefficients = None
+    if len(points) >= 4:
+        xs = np.array([p[2] for p in points])
+        ys = np.array([p[3] for p in points])
+        coefficients = np.polyfit(xs, ys, deg=3)
+    return CorrelationResult(points=points, cubic_coefficients=coefficients)

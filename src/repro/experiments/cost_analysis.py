@@ -1,0 +1,73 @@
+"""Fig. 9: monetary / carbon / storage cost comparison of label schemes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..metrics.costs import (
+    LabelingCost,
+    possession_label_cost,
+    storage_ratio_strong_vs_possession,
+    strong_label_cost,
+    weak_label_cost,
+)
+from .reporting import render_series, render_table
+
+
+@dataclass
+class CostResult:
+    per_household: List[LabelingCost]
+    storage_curve: List[Tuple[float, float, float]]  # (k samples, strong TB, weak TB)
+    storage_ratio: float
+
+    def render(self) -> str:
+        table = render_table(
+            ["One label per", "$ / household", "gCO2 / household", "Storage (TB, 1M homes)"],
+            [
+                [c.scheme, c.dollars_per_household, c.gco2_per_household, round(c.storage_terabytes, 2)]
+                for c in self.per_household
+            ],
+            title="Fig. 9a — labeling cost per household (1-year horizon)",
+        )
+        curve = render_series(
+            "Fig. 9b — storage TB vs recorded samples/house (strong)",
+            [f"{k:.0f}k" for k, _, _ in self.storage_curve],
+            [round(s, 2) for _, s, _ in self.storage_curve],
+        )
+        curve_weak = render_series(
+            "Fig. 9b — storage TB vs recorded samples/house (weak)",
+            [f"{k:.0f}k" for k, _, _ in self.storage_curve],
+            [round(w, 2) for _, _, w in self.storage_curve],
+        )
+        ratio = f"strong/weak storage ratio = {self.storage_ratio:.1f}x (paper: ~6x)"
+        return "\n".join([table, curve, curve_weak, ratio])
+
+
+def run_cost_analysis(
+    n_households: int = 1_000_000,
+    n_appliances: int = 5,
+    years: float = 1.0,
+    sample_points: Sequence[float] = (100.0, 200.0, 300.0, 400.0, 525.6),
+) -> CostResult:
+    """Compute Fig. 9 for ``n_households`` (default: the paper's 1M homes).
+
+    ``sample_points`` are recorded samples per house per year in thousands
+    (525.6k = one year at 1-minute sampling).
+    """
+    schemes = [
+        strong_label_cost(n_households, n_appliances, years),
+        weak_label_cost(n_households, n_appliances, years),
+        possession_label_cost(n_households, n_appliances, years),
+    ]
+    curve = []
+    for k_samples in sample_points:
+        samples = k_samples * 1000.0
+        strong = strong_label_cost(n_households, n_appliances, years, samples_per_year=samples)
+        weak = possession_label_cost(n_households, n_appliances, years, samples_per_year=samples)
+        curve.append((k_samples, strong.storage_terabytes, weak.storage_terabytes))
+    return CostResult(
+        per_household=schemes,
+        storage_curve=curve,
+        storage_ratio=storage_ratio_strong_vs_possession(n_appliances),
+    )

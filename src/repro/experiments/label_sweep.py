@@ -1,0 +1,111 @@
+"""Figures 1 and 5: localization F1 versus number of training labels.
+
+For each case, every method is retrained on growing training pools.  A
+strongly supervised method consumes ``w`` labels per window; the weakly
+supervised ones (CamAL, CRNN-weak) consume one label per window.  The
+figure's headline statistic — how many times more labels the strongly
+supervised methods need to reach CamAL's accuracy — is computed from the
+resulting curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import simdata as sd
+from .config import Preset
+from .reporting import render_series
+from .runner import CaseData, case_windows, build_corpus, run_baseline, run_camal
+
+
+@dataclass
+class SweepPoint:
+    """One (label budget, score) point of a method's curve."""
+
+    n_labels: int
+    f1: float
+
+
+@dataclass
+class LabelSweepResult:
+    """All method curves for one dataset x appliance case."""
+
+    corpus: str
+    appliance: str
+    curves: Dict[str, List[SweepPoint]] = field(default_factory=dict)
+
+    def label_factor_to_match_camal(self) -> Dict[str, float]:
+        """How many x more labels each strong method needs to reach the
+        best CamAL F1 (inf if it never does within the sweep)."""
+        camal_curve = self.curves.get("CamAL", [])
+        if not camal_curve:
+            return {}
+        best_camal_f1 = max(p.f1 for p in camal_curve)
+        camal_labels = min(
+            (p.n_labels for p in camal_curve if p.f1 >= best_camal_f1), default=0
+        )
+        factors = {}
+        for name, curve in self.curves.items():
+            if name == "CamAL":
+                continue
+            reaching = [p.n_labels for p in curve if p.f1 >= best_camal_f1]
+            if reaching and camal_labels > 0:
+                factors[name] = min(reaching) / camal_labels
+            else:
+                factors[name] = float("inf")
+        return factors
+
+    def render(self) -> str:
+        lines = [f"Fig. 5 — {self.appliance} ({self.corpus}): F1 vs number of labels"]
+        for name, curve in self.curves.items():
+            lines.append(
+                render_series(
+                    f"  {name}", [p.n_labels for p in curve], [p.f1 for p in curve]
+                )
+            )
+        return "\n".join(lines)
+
+
+def run_label_sweep(
+    corpus_name: str,
+    appliance: str,
+    preset: Preset,
+    methods: Optional[Sequence[str]] = None,
+    n_points: int = 4,
+    seed: int = 0,
+) -> LabelSweepResult:
+    """Sweep training-set sizes for one case and all requested methods.
+
+    ``methods`` defaults to CamAL + all baselines of Fig. 5.
+    """
+    methods = list(
+        methods
+        or ["CamAL", "CRNN-weak", "CRNN", "BiGRU", "UNet-NILM", "TPNILM", "TransNILM"]
+    )
+    corpus = build_corpus(corpus_name, preset, seed)
+    case = case_windows(corpus, appliance, preset.window, split_seed=seed)
+    sizes = sd.label_sweep_sizes(len(case.train), points=n_points)
+    rng = np.random.default_rng(seed)
+
+    result = LabelSweepResult(corpus=corpus_name, appliance=appliance)
+    for n_windows in sizes:
+        train_subset = sd.subset_windows(case.train, n_windows, rng)
+        sub_case = CaseData(
+            corpus=case.corpus,
+            appliance=case.appliance,
+            train=train_subset,
+            val=case.val,
+            test=case.test,
+        )
+        for method in methods:
+            if method == "CamAL":
+                res, _ = run_camal(sub_case, preset, seed=seed)
+            else:
+                res = run_baseline(method, sub_case, preset, seed=seed)
+            result.curves.setdefault(method, []).append(
+                SweepPoint(n_labels=res.n_labels, f1=res.f1)
+            )
+    return result

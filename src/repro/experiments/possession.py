@@ -1,0 +1,212 @@
+"""RQ4 / Fig. 8: the possession-only pipeline (§V-H).
+
+Training uses *one label per household* — does the house own the appliance
+or not — with no submeter data at all:
+
+1. split households 70/10/20 (train/val/test);
+2. balance the training households by possession label (random
+   undersampling);
+3. slice every household series into tumbling windows of size ``w`` and
+   assign the household's possession label to each window;
+4. train the CamAL ensemble per candidate ``w`` and keep the ``w`` whose
+   detection Balanced Accuracy on the validation households is highest;
+5. evaluate localization on a submetered corpus with per-timestamp ground
+   truth (IDEAL's 39 submetered homes, or EDF EV for the EDF pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import simdata as sd
+from ..core import CamAL, train_ensemble
+from ..metrics import balanced_accuracy
+from .config import Preset
+from .reporting import render_table
+from .runner import CaseData, CaseResult, case_windows, evaluate_status, house_windows
+
+
+def _possession_windows(
+    corpus: sd.Corpus, appliance: str, house_ids: Sequence[str], window: int
+) -> sd.WindowSet:
+    """Aggregate-only windows labeled with the household possession answer."""
+    sets = []
+    for house_id in house_ids:
+        windows = house_windows(corpus, appliance, house_id, window)
+        if len(windows) == 0:
+            continue
+        owns = corpus.house(house_id).possession.get(appliance, False)
+        sets.append(sd.replicate_possession_label(windows, owns))
+    return sd.concat_window_sets(sets)
+
+
+def _balance_households(
+    corpus: sd.Corpus, appliance: str, house_ids: Sequence[str], rng: np.random.Generator
+) -> List[str]:
+    """Random undersampling of households to equalize possession classes."""
+    owners = [h for h in house_ids if corpus.house(h).possession.get(appliance, False)]
+    others = [h for h in house_ids if h not in owners]
+    if not owners or not others:
+        return list(house_ids)
+    keep = min(len(owners), len(others))
+    owners = list(rng.choice(owners, size=keep, replace=False))
+    others = list(rng.choice(others, size=keep, replace=False))
+    return owners + others
+
+
+@dataclass
+class PossessionRunResult:
+    """Outcome of the possession-only pipeline for one case."""
+
+    appliance: str
+    train_corpus: str
+    test_corpus: str
+    best_window: int
+    val_balanced_accuracy: float
+    localization: CaseResult
+    window_scores: List[Tuple[int, float]]  # (w, val balacc)
+    camal: Optional[CamAL] = None  # the selected pipeline (for reuse, e.g. RQ5)
+
+    def render(self) -> str:
+        rows = [[w, score] for w, score in self.window_scores]
+        table = render_table(
+            ["train window w", "val BalAcc"],
+            rows,
+            title=(
+                f"Fig. 8 — possession-only pipeline: {self.appliance} "
+                f"(train {self.train_corpus} -> test {self.test_corpus})"
+            ),
+        )
+        summary = (
+            f"best w = {self.best_window}; localization F1 = {self.localization.f1:.3f} "
+            f"(MR = {self.localization.matching_ratio:.3f}, "
+            f"labels used = {self.localization.n_labels} households)"
+        )
+        return table + "\n" + summary
+
+
+def run_possession_pipeline(
+    train_corpus: sd.Corpus,
+    test_corpus: sd.Corpus,
+    appliance: str,
+    preset: Preset,
+    window_candidates: Sequence[int],
+    test_house_ids: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> PossessionRunResult:
+    """Run the full §V-H pipeline and evaluate on submetered ground truth."""
+    rng = np.random.default_rng(seed)
+    split = sd.possession_split(train_corpus, seed=seed)
+    train_houses = _balance_households(train_corpus, appliance, split.train, rng)
+
+    # Per-timestamp evaluation set from the submetered corpus.
+    test_ids = list(test_house_ids or test_corpus.submetered_house_ids)
+    test_pool = sd.concat_window_sets(
+        [house_windows(test_corpus, appliance, hid, preset.window) for hid in test_ids]
+    )
+    spec = sd.get_spec(appliance)
+
+    best: Optional[Tuple[int, float, CamAL]] = None
+    scores: List[Tuple[int, float]] = []
+    for window in window_candidates:
+        train_pool = _possession_windows(train_corpus, appliance, train_houses, window)
+        val_pool = _possession_windows(train_corpus, appliance, split.val, window)
+        if train_pool.weak.min() == train_pool.weak.max():
+            scores.append((window, float("nan")))
+            continue
+        ensemble, _ = train_ensemble(
+            train_pool.inputs,
+            train_pool.weak,
+            val_pool.inputs,
+            val_pool.weak,
+            preset.ensemble_config(seed),
+        )
+        camal = CamAL(ensemble, power_gate_watts=spec.on_threshold_watts)
+        val_bal = balanced_accuracy(
+            val_pool.weak, ensemble.predict_detection(val_pool.inputs)
+        )
+        scores.append((window, val_bal))
+        if best is None or val_bal > best[1]:
+            best = (window, val_bal, camal)
+
+    if best is None:
+        raise RuntimeError("no window candidate produced both possession classes")
+    best_window, best_bal, camal = best
+
+    case = CaseData(
+        corpus=test_corpus.name, appliance=appliance,
+        train=test_pool, val=test_pool, test=test_pool,
+    )
+    output = camal.localize(test_pool.inputs)
+    localization = evaluate_status(
+        "CamAL (possession)",
+        case,
+        output.status,
+        train_seconds=0.0,
+        n_labels=len(train_houses),
+        detection_pred=output.detected,
+    )
+    return PossessionRunResult(
+        appliance=appliance,
+        train_corpus=train_corpus.name,
+        test_corpus=test_corpus.name,
+        best_window=best_window,
+        val_balanced_accuracy=best_bal,
+        localization=localization,
+        window_scores=scores,
+        camal=camal,
+    )
+
+
+@dataclass
+class Figure8Result:
+    """One label per household vs per subsequence vs per timestamp."""
+
+    rows: List[Tuple[str, str, float, int]]  # (method, label scheme, F1, n labels)
+
+    def render(self) -> str:
+        return render_table(
+            ["Method", "One label per", "F1", "# labels"],
+            [list(r) for r in self.rows],
+            title="Fig. 8 — label-granularity comparison",
+        )
+
+
+def run_figure8(
+    train_corpus: sd.Corpus,
+    test_corpus: sd.Corpus,
+    appliance: str,
+    preset: Preset,
+    window_candidates: Sequence[int],
+    seed: int = 0,
+) -> Figure8Result:
+    """Compare the three label granularities on one case (Fig. 8)."""
+    from .runner import run_baseline, run_camal
+
+    rows: List[Tuple[str, str, float, int]] = []
+
+    possession = run_possession_pipeline(
+        train_corpus, test_corpus, appliance, preset, window_candidates, seed=seed
+    )
+    rows.append(
+        (
+            "CamAL",
+            "household",
+            possession.localization.f1,
+            possession.localization.n_labels,
+        )
+    )
+
+    case = case_windows(test_corpus, appliance, preset.window, split_seed=seed)
+    per_window, _ = run_camal(case, preset, seed=seed)
+    rows.append(("CamAL", "subsequence", per_window.f1, per_window.n_labels))
+
+    crnn_weak = run_baseline("CRNN-weak", case, preset, seed=seed)
+    rows.append(("CRNN-weak", "subsequence", crnn_weak.f1, crnn_weak.n_labels))
+
+    strong = run_baseline("CRNN", case, preset, seed=seed)
+    rows.append(("CRNN", "timestamp", strong.f1, strong.n_labels))
+    return Figure8Result(rows=rows)

@@ -1,0 +1,53 @@
+"""Plain-text table/series rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an ASCII table with aligned columns."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[Cell], ys: Sequence[Cell]) -> str:
+    """Render an (x, y) series as the paper's figures report them."""
+    pairs = ", ".join(f"({format_cell(x)}, {format_cell(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def render_dict(title: str, values: Dict[str, Cell]) -> str:
+    lines = [title]
+    width = max(len(k) for k in values) if values else 0
+    for key, value in values.items():
+        lines.append(f"  {key.ljust(width)} : {format_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,309 @@
+"""Shared orchestration: corpus -> windows -> trained model -> metrics.
+
+Every table/figure runner builds on these helpers so that data handling
+(§V-B) and evaluation (§V-D, including the §IV-C power reconstruction
+applied to *all* baselines) stay identical across experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import baselines as bl
+from .. import simdata as sd
+from ..core import CamAL, EnsembleConfig, estimate_power, train_ensemble
+from ..metrics import balanced_accuracy, f1_score, mae, matching_ratio, precision_score, recall_score, rmse
+from ..training import (
+    TrainConfig,
+    predict_status_seq2seq,
+    train_seq2seq,
+    train_weak_mil,
+)
+from .config import Preset
+
+#: Baseline name -> (supervision, factory(scale, window, seed) -> model).
+BASELINE_NAMES = ("CRNN", "CRNN-weak", "BiGRU", "UNet-NILM", "TPNILM", "TransNILM")
+
+
+def build_corpus(name: str, preset: Preset, seed: int = 0) -> sd.Corpus:
+    """Instantiate a corpus at the preset's scale."""
+    days = preset.corpus_days[name]
+    if name == "ukdale":
+        return sd.ukdale_like(days=days, seed=seed)
+    if name == "refit":
+        return sd.refit_like(days=days, seed=seed + 1)
+    if name == "ideal":
+        return sd.ideal_like(
+            days=days, n_possession_only=preset.ideal_possession_houses, seed=seed + 2
+        )
+    if name == "edf_ev":
+        return sd.edf_ev_like(days=days, seed=seed + 3)
+    if name == "edf_weak":
+        return sd.edf_weak_like(days=days, n_houses=preset.edf_weak_houses, seed=seed + 4)
+    raise KeyError(f"unknown corpus {name!r}")
+
+
+@dataclass
+class CaseData:
+    """Model-ready windows for one dataset x appliance case."""
+
+    corpus: str
+    appliance: str
+    train: sd.WindowSet
+    val: sd.WindowSet
+    test: sd.WindowSet
+
+    @property
+    def spec(self) -> sd.ApplianceSpec:
+        return sd.get_spec(self.appliance)
+
+
+def house_windows(
+    corpus: sd.Corpus, appliance: str, house_id: str, window: int
+) -> sd.WindowSet:
+    """Preprocess one house for one appliance (ffill + slice + scale)."""
+    spec = sd.get_spec(appliance)
+    house = corpus.house(house_id)
+    aggregate = sd.forward_fill(house.aggregate, corpus.max_ffill_samples)
+    power = house.appliance_power.get(appliance)
+    return sd.slice_windows(
+        aggregate, power, spec.on_threshold_watts, window=window, house_id=house_id
+    )
+
+
+def case_windows(
+    corpus: sd.Corpus, appliance: str, window: int, split_seed: int = 0
+) -> CaseData:
+    """Build the train/val/test window pools with house-level splits."""
+    split = sd.split_houses(corpus, seed=split_seed)
+
+    def pool(house_ids) -> sd.WindowSet:
+        return sd.concat_window_sets(
+            [house_windows(corpus, appliance, hid, window) for hid in house_ids]
+        )
+
+    return CaseData(
+        corpus=corpus.name,
+        appliance=appliance,
+        train=pool(split.train),
+        val=pool(split.val),
+        test=pool(split.test),
+    )
+
+
+@dataclass
+class CaseResult:
+    """Metrics of one method on one case (the columns of Table III)."""
+
+    method: str
+    corpus: str
+    appliance: str
+    f1: float
+    precision: float
+    recall: float
+    mae_watts: float
+    rmse_watts: float
+    matching_ratio: float
+    balanced_accuracy: float = float("nan")  # detection score (CamAL only)
+    train_seconds: float = 0.0
+    n_labels: int = 0
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "F1": self.f1,
+            "Pr": self.precision,
+            "Rc": self.recall,
+            "MAE": self.mae_watts,
+            "RMSE": self.rmse_watts,
+            "MR": self.matching_ratio,
+        }
+
+
+def evaluate_status(
+    method: str,
+    case: CaseData,
+    status_pred: np.ndarray,
+    train_seconds: float,
+    n_labels: int,
+    detection_pred: Optional[np.ndarray] = None,
+) -> CaseResult:
+    """Score per-timestamp predictions with §V-D metrics.
+
+    Power reconstruction (§IV-C: ``min(ŝ * P_a, x)``) is applied uniformly,
+    exactly as the paper applies it to every baseline before evaluating.
+    """
+    spec = case.spec
+    power_pred = estimate_power(status_pred, spec.avg_power_watts, case.test.aggregate_watts)
+    truth = case.test.strong
+    bal = float("nan")
+    if detection_pred is not None:
+        bal = balanced_accuracy(case.test.weak, detection_pred)
+    return CaseResult(
+        method=method,
+        corpus=case.corpus,
+        appliance=case.appliance,
+        f1=f1_score(truth, status_pred),
+        precision=precision_score(truth, status_pred),
+        recall=recall_score(truth, status_pred),
+        mae_watts=mae(case.test.power_watts, power_pred),
+        rmse_watts=rmse(case.test.power_watts, power_pred),
+        matching_ratio=matching_ratio(case.test.power_watts, power_pred),
+        balanced_accuracy=bal,
+        train_seconds=train_seconds,
+        n_labels=n_labels,
+    )
+
+
+# ----------------------------------------------------------------------
+# CamAL
+# ----------------------------------------------------------------------
+def run_camal(
+    case: CaseData,
+    preset: Preset,
+    seed: int = 0,
+    use_attention: bool = True,
+    power_gate: bool = True,
+    kernel_set: Optional[Tuple[int, ...]] = None,
+    n_models: Optional[int] = None,
+) -> Tuple[CaseResult, CamAL]:
+    """Train the CamAL ensemble on weak labels and evaluate localization."""
+    config = preset.ensemble_config(seed)
+    if kernel_set is not None:
+        from dataclasses import replace
+
+        config = replace(config, kernel_set=kernel_set)
+    if n_models is not None:
+        from dataclasses import replace
+
+        config = replace(config, n_models=n_models)
+
+    start = time.perf_counter()
+    ensemble, _ = train_ensemble(
+        case.train.inputs, case.train.weak, case.val.inputs, case.val.weak, config
+    )
+    train_seconds = time.perf_counter() - start
+
+    gate = case.spec.on_threshold_watts if power_gate else None
+    camal = CamAL(ensemble, use_attention=use_attention, power_gate_watts=gate)
+    output = camal.localize(case.test.inputs)
+    result = evaluate_status(
+        "CamAL",
+        case,
+        output.status,
+        train_seconds,
+        n_labels=len(case.train.weak),
+        detection_pred=output.detected,
+    )
+    return result, camal
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+_SCALES: Dict[str, Dict[str, Callable[[int, int], object]]] = {}
+
+
+def make_baseline(name: str, scale: str, seed: int = 0):
+    """Instantiate a baseline model at the given width scale.
+
+    ``scale`` is one of ``paper`` (Table II sizes), ``small`` or ``tiny``
+    (CPU-friendly widths for the fast/bench presets).
+    """
+    if scale == "paper":
+        table = {
+            "CRNN": lambda: bl.CRNN(bl.CRNNConfig(seed=seed)),
+            "CRNN-weak": lambda: bl.CRNN(bl.CRNNConfig(seed=seed)),
+            "BiGRU": lambda: bl.BiGRUNILM(bl.BiGRUConfig(seed=seed)),
+            "UNet-NILM": lambda: bl.UNetNILM(bl.UNetConfig(seed=seed)),
+            "TPNILM": lambda: bl.TPNILM(bl.TPNILMConfig(seed=seed)),
+            "TransNILM": lambda: bl.TransNILM(bl.TransNILMConfig(seed=seed)),
+        }
+    elif scale == "small":
+        table = {
+            "CRNN": lambda: bl.CRNN(
+                bl.CRNNConfig(conv_channels=(16, 32, 32), hidden_size=32, seed=seed)
+            ),
+            "CRNN-weak": lambda: bl.CRNN(
+                bl.CRNNConfig(conv_channels=(16, 32, 32), hidden_size=32, seed=seed)
+            ),
+            "BiGRU": lambda: bl.BiGRUNILM(
+                bl.BiGRUConfig(conv_channels=16, hidden_size=24, seed=seed)
+            ),
+            "UNet-NILM": lambda: bl.UNetNILM(
+                bl.UNetConfig(channels=(8, 16, 32), bottleneck=64, seed=seed)
+            ),
+            "TPNILM": lambda: bl.TPNILM(
+                bl.TPNILMConfig(channels=(16, 32, 64), seed=seed)
+            ),
+            "TransNILM": lambda: bl.TransNILM(
+                bl.TransNILMConfig(
+                    embed_dim=32, num_heads=4, num_layers=1, ff_dim=64, seed=seed
+                )
+            ),
+        }
+    elif scale == "tiny":
+        table = {
+            "CRNN": lambda: bl.CRNN(
+                bl.CRNNConfig(conv_channels=(8, 16, 16), hidden_size=16, seed=seed)
+            ),
+            "CRNN-weak": lambda: bl.CRNN(
+                bl.CRNNConfig(conv_channels=(8, 16, 16), hidden_size=16, seed=seed)
+            ),
+            "BiGRU": lambda: bl.BiGRUNILM(
+                bl.BiGRUConfig(conv_channels=8, hidden_size=12, seed=seed)
+            ),
+            "UNet-NILM": lambda: bl.UNetNILM(
+                bl.UNetConfig(channels=(8, 16, 16), bottleneck=32, seed=seed)
+            ),
+            "TPNILM": lambda: bl.TPNILM(
+                bl.TPNILMConfig(channels=(8, 16, 32), seed=seed)
+            ),
+            "TransNILM": lambda: bl.TransNILM(
+                bl.TransNILMConfig(
+                    embed_dim=16, num_heads=2, num_layers=1, ff_dim=32, seed=seed
+                )
+            ),
+        }
+    else:
+        raise KeyError(f"unknown baseline scale {scale!r}")
+    try:
+        return table[name]()
+    except KeyError:
+        raise KeyError(f"unknown baseline {name!r}; known: {BASELINE_NAMES}") from None
+
+
+def run_baseline(
+    name: str,
+    case: CaseData,
+    preset: Preset,
+    seed: int = 0,
+) -> CaseResult:
+    """Train one baseline on the case and evaluate localization.
+
+    ``CRNN-weak`` trains with one label per window (MIL); all other
+    baselines are strongly supervised (one label per timestamp).
+    """
+    model = make_baseline(name, preset.baseline_scale, seed)
+    weak = name == "CRNN-weak"
+    config = preset.train_config(preset.seq2seq_epochs, seed)
+
+    start = time.perf_counter()
+    if weak:
+        train_weak_mil(
+            model, case.train.inputs, case.train.weak, case.val.inputs, case.val.weak, config
+        )
+        n_labels = len(case.train.weak)
+    else:
+        train_seq2seq(
+            model, case.train.inputs, case.train.strong, case.val.inputs, case.val.strong, config
+        )
+        n_labels = case.train.strong.size
+    train_seconds = time.perf_counter() - start
+
+    model.eval()
+    status = predict_status_seq2seq(model, case.test.inputs)
+    return evaluate_status(name, case, status, train_seconds, n_labels)

@@ -1,0 +1,80 @@
+"""Table III: weakly supervised approaches — CamAL vs CRNN-weak.
+
+For every dataset x appliance case, train both weakly supervised methods
+on all available weak labels and report F1 / MAE / RMSE / MR, plus the
+cross-case average row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .config import TABLE3_CASES, Preset
+from .reporting import render_table
+from .runner import CaseResult, build_corpus, case_windows, run_baseline, run_camal
+
+
+@dataclass
+class WeakTableResult:
+    """All rows of Table III."""
+
+    camal: List[CaseResult]
+    crnn_weak: List[CaseResult]
+
+    def averages(self) -> Dict[str, Dict[str, float]]:
+        out = {}
+        for name, results in (("CamAL", self.camal), ("CRNN-weak", self.crnn_weak)):
+            out[name] = {
+                "F1": float(np.mean([r.f1 for r in results])),
+                "MAE": float(np.mean([r.mae_watts for r in results])),
+                "RMSE": float(np.mean([r.rmse_watts for r in results])),
+                "MR": float(np.mean([r.matching_ratio for r in results])),
+            }
+        return out
+
+    def render(self) -> str:
+        headers = [
+            "Dataset", "Case",
+            "CamAL F1", "CamAL MAE", "CamAL RMSE", "CamAL MR",
+            "CRNNw F1", "CRNNw MAE", "CRNNw RMSE", "CRNNw MR",
+        ]
+        rows = []
+        for ours, theirs in zip(self.camal, self.crnn_weak):
+            rows.append(
+                [
+                    ours.corpus, ours.appliance,
+                    ours.f1, ours.mae_watts, ours.rmse_watts, ours.matching_ratio,
+                    theirs.f1, theirs.mae_watts, theirs.rmse_watts, theirs.matching_ratio,
+                ]
+            )
+        avg = self.averages()
+        rows.append(
+            [
+                "Avg.", "",
+                avg["CamAL"]["F1"], avg["CamAL"]["MAE"], avg["CamAL"]["RMSE"], avg["CamAL"]["MR"],
+                avg["CRNN-weak"]["F1"], avg["CRNN-weak"]["MAE"], avg["CRNN-weak"]["RMSE"], avg["CRNN-weak"]["MR"],
+            ]
+        )
+        return render_table(headers, rows, title="Table III — weakly supervised results")
+
+
+def run_weak_table(
+    preset: Preset,
+    cases: Optional[Sequence[Tuple[str, str]]] = None,
+    seed: int = 0,
+) -> WeakTableResult:
+    """Run Table III over ``cases`` (default: all 11 paper cases)."""
+    cases = list(cases or TABLE3_CASES)
+    corpora = {}
+    camal_rows, crnn_rows = [], []
+    for corpus_name, appliance in cases:
+        if corpus_name not in corpora:
+            corpora[corpus_name] = build_corpus(corpus_name, preset, seed)
+        case = case_windows(corpora[corpus_name], appliance, preset.window, split_seed=seed)
+        camal_result, _ = run_camal(case, preset, seed=seed)
+        camal_rows.append(camal_result)
+        crnn_rows.append(run_baseline("CRNN-weak", case, preset, seed=seed))
+    return WeakTableResult(camal=camal_rows, crnn_weak=crnn_rows)

@@ -1,0 +1,37 @@
+"""``repro.metrics`` — evaluation measures of §V-D plus the Fig. 9 cost model."""
+
+from .classification import accuracy, balanced_accuracy, detection_f1
+from .costs import (
+    LabelingCost,
+    possession_label_cost,
+    storage_ratio_strong_vs_possession,
+    strong_label_cost,
+    weak_label_cost,
+)
+from .energy import mae, matching_ratio, rmse
+from .localization import (
+    ConfusionCounts,
+    confusion,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+__all__ = [
+    "f1_score",
+    "precision_score",
+    "recall_score",
+    "confusion",
+    "ConfusionCounts",
+    "mae",
+    "rmse",
+    "matching_ratio",
+    "balanced_accuracy",
+    "detection_f1",
+    "accuracy",
+    "LabelingCost",
+    "strong_label_cost",
+    "weak_label_cost",
+    "possession_label_cost",
+    "storage_ratio_strong_vs_possession",
+]

@@ -1,0 +1,31 @@
+"""Appliance-detection (Problem 1) metrics.
+
+The paper scores detection with Balanced Accuracy because the minority
+class varies across appliances and window lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .localization import confusion
+
+
+def balanced_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """(TPR + TNR) / 2 over window-level detection decisions."""
+    return confusion(y_true, y_pred).balanced_accuracy
+
+
+def detection_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Window-level F1 (positive class) for completeness."""
+    return confusion(y_true, y_pred).f1
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true).astype(bool).ravel()
+    y_pred = np.asarray(y_pred).astype(bool).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))

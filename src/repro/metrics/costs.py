@@ -1,0 +1,108 @@
+"""Analytic labeling-cost model (Fig. 9 of the paper).
+
+Constants come from §V-H2: submetering a household costs ~$1000 in sensors
+plus $1500/year of maintenance and a 2134 gCO2 technician visit; a
+questionnaire costs ~$10 and 4.62 gCO2 (one website visit).  Storage uses
+8-byte BIGINT per recorded timestamp and 10-byte VARCHAR per possession
+answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Defaults from the paper (per household).
+SENSOR_COST_DOLLARS = 1000.0
+MAINTENANCE_COST_DOLLARS_PER_YEAR = 1500.0
+QUESTIONNAIRE_COST_DOLLARS = 10.0
+TECHNICIAN_VISIT_GCO2 = 2134.0
+WEBSITE_VISIT_GCO2 = 4.62
+BIGINT_BYTES = 8
+VARCHAR_BYTES = 10
+
+_TB = 1024.0 ** 4
+
+
+@dataclass(frozen=True)
+class LabelingCost:
+    """Cost of acquiring labels for one supervision scheme."""
+
+    scheme: str
+    dollars_per_household: float
+    gco2_per_household: float
+    storage_bytes: float
+
+    @property
+    def storage_terabytes(self) -> float:
+        return self.storage_bytes / _TB
+
+
+def strong_label_cost(
+    n_households: int,
+    n_appliances: int = 5,
+    years: float = 1.0,
+    samples_per_year: float = 525_600.0,  # 1-minute sampling
+) -> LabelingCost:
+    """Cost of per-timestamp (submetered) labels.
+
+    Storage covers the aggregate channel plus one channel per submetered
+    appliance, 8 bytes per sample.
+    """
+    _validate(n_households, n_appliances, years)
+    dollars = SENSOR_COST_DOLLARS + MAINTENANCE_COST_DOLLARS_PER_YEAR * years
+    channels = 1 + n_appliances
+    storage = n_households * channels * samples_per_year * years * BIGINT_BYTES
+    return LabelingCost("per timestamp", dollars, TECHNICIAN_VISIT_GCO2, storage)
+
+
+def weak_label_cost(
+    n_households: int,
+    n_appliances: int = 5,
+    years: float = 1.0,
+    samples_per_year: float = 525_600.0,
+    surveys_per_year: float = 52.0,  # weekly usage questionnaires
+) -> LabelingCost:
+    """Cost of per-subsequence weak labels from periodic surveys."""
+    _validate(n_households, n_appliances, years)
+    dollars = QUESTIONNAIRE_COST_DOLLARS * surveys_per_year * years
+    gco2 = WEBSITE_VISIT_GCO2 * surveys_per_year * years
+    storage = n_households * (
+        samples_per_year * years * BIGINT_BYTES
+        + surveys_per_year * years * n_appliances * VARCHAR_BYTES
+    )
+    return LabelingCost("per subsequence", dollars, gco2, storage)
+
+
+def possession_label_cost(
+    n_households: int,
+    n_appliances: int = 5,
+    years: float = 1.0,
+    samples_per_year: float = 525_600.0,
+) -> LabelingCost:
+    """Cost of the single possession questionnaire CamAL needs."""
+    _validate(n_households, n_appliances, years)
+    storage = n_households * (
+        samples_per_year * years * BIGINT_BYTES + n_appliances * VARCHAR_BYTES
+    )
+    return LabelingCost(
+        "per household", QUESTIONNAIRE_COST_DOLLARS, WEBSITE_VISIT_GCO2, storage
+    )
+
+
+def _validate(n_households: int, n_appliances: int, years: float) -> None:
+    if n_households <= 0:
+        raise ValueError("n_households must be positive")
+    if n_appliances <= 0:
+        raise ValueError("n_appliances must be positive")
+    if years <= 0:
+        raise ValueError("years must be positive")
+
+
+def storage_ratio_strong_vs_possession(n_appliances: int = 5) -> float:
+    """Paper headline: strong labels store ~(1 + n_app)x more than weak.
+
+    With 5 appliances this is the "6x more data" of Fig. 9(b).
+    """
+    strong = strong_label_cost(1, n_appliances)
+    weak = possession_label_cost(1, n_appliances)
+    return strong.storage_bytes / weak.storage_bytes

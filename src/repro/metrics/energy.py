@@ -1,0 +1,48 @@
+"""Energy-estimation metrics: MAE, RMSE and the Matching Ratio.
+
+The Matching Ratio (Mayhorn et al. 2016) is the overlap of true and
+estimated power — the paper calls it "the best indicator performance for
+energy disaggregation":
+
+    MR = sum_t min(ŷ_t, y_t) / sum_t max(ŷ_t, y_t)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return y_true, y_pred
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error (Watts)."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean square error (Watts)."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def matching_ratio(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Matching Ratio in [0, 1]; 1 means perfect overlap.
+
+    Negative powers are clipped to zero (power readings are non-negative).
+    Returns 1.0 when both signals are identically zero (perfect trivial
+    match) and 0.0 when exactly one is all-zero.
+    """
+    y_true, y_pred = _check(y_true, y_pred)
+    y_true = np.maximum(y_true, 0.0)
+    y_pred = np.maximum(y_pred, 0.0)
+    denominator = np.maximum(y_true, y_pred).sum()
+    if denominator == 0.0:
+        return 1.0
+    return float(np.minimum(y_true, y_pred).sum() / denominator)

@@ -1,0 +1,68 @@
+"""Per-timestamp localization metrics (F1 / precision / recall).
+
+The paper scores localization with the F1 of the positive (ON) class over
+all timestamps of the test windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion-matrix counts."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    @property
+    def balanced_accuracy(self) -> float:
+        tpr = self.tp / (self.tp + self.fn) if (self.tp + self.fn) else 0.0
+        tnr = self.tn / (self.tn + self.fp) if (self.tn + self.fp) else 0.0
+        return 0.5 * (tpr + tnr)
+
+
+def confusion(y_true: np.ndarray, y_pred: np.ndarray) -> ConfusionCounts:
+    """Confusion counts for binary arrays of any (matching) shape."""
+    y_true = np.asarray(y_true).astype(bool).ravel()
+    y_pred = np.asarray(y_pred).astype(bool).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    tp = int(np.sum(y_pred & y_true))
+    fp = int(np.sum(y_pred & ~y_true))
+    fn = int(np.sum(~y_pred & y_true))
+    tn = int(np.sum(~y_pred & ~y_true))
+    return ConfusionCounts(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """F1 of the positive class (the paper's localization score)."""
+    return confusion(y_true, y_pred).f1
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return confusion(y_true, y_pred).precision
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return confusion(y_true, y_pred).recall

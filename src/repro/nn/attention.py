@@ -1,0 +1,80 @@
+"""Multi-head self-attention and a pre-norm transformer encoder layer.
+
+Used by the TransNILM baseline.  Operates on ``(N, L, D)`` sequences.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, LayerNorm, Linear, ReLU
+from .modules import Module, Sequential
+from .tensor import Tensor
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` heads."""
+
+    def __init__(self, dim: int, num_heads: int, dropout: float = 0.0, seed: Optional[int] = None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        base = 0 if seed is None else seed
+        self.q_proj = Linear(dim, dim, seed=base + 1)
+        self.k_proj = Linear(dim, dim, seed=base + 2)
+        self.v_proj = Linear(dim, dim, seed=base + 3)
+        self.out_proj = Linear(dim, dim, seed=base + 4)
+        self.attn_dropout = Dropout(dropout, seed=base + 5)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        n, length, _ = x.shape
+        return x.reshape(n, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, length, _ = x.shape
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(x))
+        v = self._split_heads(self.v_proj(x))
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        weights = F.softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+        context = weights.matmul(v)  # (N, H, L, head_dim)
+        merged = context.transpose(0, 2, 1, 3).reshape(n, length, self.dim)
+        return self.out_proj(merged)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer block: LN -> MHSA -> residual, LN -> FFN -> residual."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ff_dim: Optional[int] = None,
+        dropout: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        super().__init__()
+        ff_dim = ff_dim or 4 * dim
+        base = 0 if seed is None else seed
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, dropout=dropout, seed=base + 10)
+        self.norm2 = LayerNorm(dim)
+        self.ff = Sequential(
+            Linear(dim, ff_dim, seed=base + 20),
+            ReLU(),
+            Linear(ff_dim, dim, seed=base + 21),
+        )
+        self.dropout = Dropout(dropout, seed=base + 30)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.dropout(self.attn(self.norm1(x)))
+        x = x + self.dropout(self.ff(self.norm2(x)))
+        return x

@@ -1,0 +1,127 @@
+"""Minimal dataset / dataloader abstractions for NumPy arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """Abstract map-style dataset."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """Dataset of aligned NumPy arrays (first axis = sample index)."""
+
+    def __init__(self, *arrays: np.ndarray):
+        if not arrays:
+            raise ValueError("TensorDataset needs at least one array")
+        length = len(arrays[0])
+        for arr in arrays:
+            if len(arr) != length:
+                raise ValueError("all arrays must share the first dimension")
+        self.arrays = tuple(np.asarray(a) for a in arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index):
+        return tuple(arr[index] for arr in self.arrays)
+
+
+class Subset(Dataset):
+    """View of a dataset restricted to the given indices."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = list(indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int):
+        return self.dataset[self.indices[index]]
+
+
+def random_split(
+    dataset: Dataset, fractions: Sequence[float], seed: Optional[int] = None
+) -> List[Subset]:
+    """Split a dataset into subsets with the given fractions (must sum to 1)."""
+    if abs(sum(fractions) - 1.0) > 1e-6:
+        raise ValueError(f"fractions must sum to 1, got {sum(fractions)}")
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(len(dataset))
+    splits: List[Subset] = []
+    start = 0
+    for i, frac in enumerate(fractions):
+        if i == len(fractions) - 1:
+            stop = len(dataset)
+        else:
+            stop = start + int(round(frac * len(dataset)))
+        splits.append(Subset(dataset, indices[start:stop].tolist()))
+        start = stop
+    return splits
+
+
+class DataLoader:
+    """Mini-batch iterator yielding tuples of stacked NumPy arrays."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        seed: Optional[int] = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, ...]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            samples = [self.dataset[int(i)] for i in idx]
+            yield tuple(np.stack(cols) for cols in zip(*samples))
+
+
+def balance_binary(
+    x: np.ndarray, y: np.ndarray, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random undersampling to equalize the two classes of binary labels.
+
+    Mirrors the balancing step of the paper's possession-only pipeline
+    (§V-H).  Returns shuffled balanced copies; if one class is absent the
+    inputs are returned unchanged.
+    """
+    y = np.asarray(y)
+    pos = np.flatnonzero(y == 1)
+    neg = np.flatnonzero(y == 0)
+    if len(pos) == 0 or len(neg) == 0:
+        return x, y
+    keep = min(len(pos), len(neg))
+    pos = rng.choice(pos, size=keep, replace=False)
+    neg = rng.choice(neg, size=keep, replace=False)
+    idx = rng.permutation(np.concatenate([pos, neg]))
+    return x[idx], y[idx]

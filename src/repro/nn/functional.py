@@ -1,0 +1,380 @@
+"""Fused neural-network primitives with hand-derived backward passes.
+
+Convolution, pooling, normalization, softmax and the fused losses are
+implemented as single graph nodes (rather than compositions of elementwise
+ops) for speed and numerical stability.  Every backward pass here is covered
+by finite-difference gradient checks in ``tests/test_gradients.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .tensor import DEFAULT_DTYPE, Tensor, _unbroadcast
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """1-D cross-correlation over ``x`` of shape ``(N, C_in, L)``.
+
+    ``weight`` has shape ``(C_out, C_in, K)``; the output has shape
+    ``(N, C_out, L_out)`` with ``L_out = (L + 2*padding - K) // stride + 1``.
+    """
+    if x.ndim != 3:
+        raise ValueError(f"conv1d expects (N, C, L) input, got shape {x.shape}")
+    n, c_in, length = x.shape
+    c_out, c_in_w, kernel = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    if length + 2 * padding < kernel:
+        raise ValueError("input (plus padding) shorter than kernel")
+
+    x_pad = np.pad(x.data, ((0, 0), (0, 0), (padding, padding))) if padding else x.data
+    windows = sliding_window_view(x_pad, kernel, axis=2)[:, :, ::stride, :]
+    # windows: (N, C_in, L_out, K); contract C_in and K against the weight.
+    out = np.tensordot(windows, weight.data, axes=([1, 3], [1, 2]))  # (N, L_out, C_out)
+    out = np.ascontiguousarray(out.transpose(0, 2, 1))
+    if bias is not None:
+        out += bias.data[None, :, None]
+
+    l_out = out.shape[2]
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            # dW[o, c, k] = sum_{n, s} grad[n, o, s] * windows[n, c, s, k]
+            d_w = np.tensordot(grad, windows, axes=([0, 2], [0, 2]))
+            weight._accumulate(d_w)
+        if x.requires_grad:
+            # Transposed convolution: dilate grad by stride, pad by K-1,
+            # correlate with the flipped kernel.
+            if stride > 1:
+                dilated = np.zeros(
+                    (n, c_out, (l_out - 1) * stride + 1), dtype=DEFAULT_DTYPE
+                )
+                dilated[:, :, ::stride] = grad
+            else:
+                dilated = grad
+            l_pad_target = length + 2 * padding
+            deficit = l_pad_target - (dilated.shape[2] + kernel - 1)
+            z = np.pad(dilated, ((0, 0), (0, 0), (kernel - 1, kernel - 1 + max(deficit, 0))))
+            zw = sliding_window_view(z, kernel, axis=2)[:, :, :l_pad_target, :]
+            w_flip = weight.data[:, :, ::-1]
+            d_xp = np.tensordot(zw, w_flip, axes=([1, 3], [0, 2]))  # (N, L_pad, C_in)
+            d_xp = d_xp.transpose(0, 2, 1)
+            if padding:
+                d_xp = d_xp[:, :, padding : padding + length]
+            x._accumulate(np.ascontiguousarray(d_xp))
+
+    return Tensor._make_from(out, parents, backward, "conv1d")
+
+
+# ----------------------------------------------------------------------
+# Pooling / resampling
+# ----------------------------------------------------------------------
+def max_pool1d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping max pooling (stride == kernel) over the last axis.
+
+    Inputs whose length is not divisible by ``kernel`` are right-padded
+    with ``-inf`` (the pad never wins the max).
+    """
+    n, c, length = x.shape
+    remainder = length % kernel
+    pad = kernel - remainder if remainder else 0
+    data = np.pad(x.data, ((0, 0), (0, 0), (0, pad)), constant_values=-np.inf) if pad else x.data
+    l_out = data.shape[2] // kernel
+    blocks = data.reshape(n, c, l_out, kernel)
+    idx = blocks.argmax(axis=3)
+    out = np.take_along_axis(blocks, idx[..., None], axis=3)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        d_blocks = np.zeros_like(blocks)
+        np.put_along_axis(d_blocks, idx[..., None], grad[..., None], axis=3)
+        d_x = d_blocks.reshape(n, c, l_out * kernel)
+        if pad:
+            d_x = d_x[:, :, :length]
+        x._accumulate(d_x)
+
+    return Tensor._make_from(out, (x,), backward, "max_pool1d")
+
+
+def avg_pool1d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping average pooling (stride == kernel), zero right-pad.
+
+    When padding is required the divisor stays ``kernel`` (count-include-pad),
+    matching the simplest convention; the experiments only use divisible
+    lengths.
+    """
+    n, c, length = x.shape
+    remainder = length % kernel
+    pad = kernel - remainder if remainder else 0
+    data = np.pad(x.data, ((0, 0), (0, 0), (0, pad))) if pad else x.data
+    l_out = data.shape[2] // kernel
+    out = data.reshape(n, c, l_out, kernel).mean(axis=3)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        d_x = np.repeat(grad / kernel, kernel, axis=2)
+        if pad:
+            d_x = d_x[:, :, :length]
+        x._accumulate(np.ascontiguousarray(d_x))
+
+    return Tensor._make_from(out, (x,), backward, "avg_pool1d")
+
+
+def global_avg_pool1d(x: Tensor) -> Tensor:
+    """Average over the temporal axis: ``(N, C, L) -> (N, C)``."""
+    return x.mean(axis=2)
+
+
+def upsample_nearest1d(x: Tensor, scale: int) -> Tensor:
+    """Nearest-neighbour upsampling of the last axis by integer ``scale``."""
+    out = np.repeat(x.data, scale, axis=2)
+    n, c, length = x.shape
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad.reshape(n, c, length, scale).sum(axis=3))
+
+    return Tensor._make_from(out, (x,), backward, "upsample_nearest1d")
+
+
+def upsample_to1d(x: Tensor, target_length: int) -> Tensor:
+    """Nearest-neighbour resize of the last axis to ``target_length``.
+
+    Handles non-integer ratios (used by the temporal-pooling decoders when
+    pooled branches do not divide the input length exactly).
+    """
+    n, c, length = x.shape
+    idx = np.minimum((np.arange(target_length) * length) // target_length, length - 1)
+    out = x.data[:, :, idx]
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        d_x = np.zeros_like(x.data)
+        np.add.at(d_x, (slice(None), slice(None), idx), grad)
+        x._accumulate(d_x)
+
+    return Tensor._make_from(out, (x,), backward, "upsample_to1d")
+
+
+# ----------------------------------------------------------------------
+# Normalization
+# ----------------------------------------------------------------------
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over ``(N, C, L)`` (per-channel) or ``(N, C)``.
+
+    ``running_mean``/``running_var`` are updated in place in training mode.
+    """
+    if x.ndim == 3:
+        axes: Tuple[int, ...] = (0, 2)
+        view = (1, -1, 1)
+    elif x.ndim == 2:
+        axes = (0,)
+        view = (1, -1)
+    else:
+        raise ValueError(f"batch_norm expects 2-D or 3-D input, got {x.ndim}-D")
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        count = x.data.size // x.data.shape[1]
+        unbiased = var * count / max(count - 1, 1)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean.reshape(view)) * inv_std.reshape(view)
+    out = gamma.data.reshape(view) * x_hat + beta.data.reshape(view)
+
+    def backward(grad: np.ndarray) -> None:
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=axes))
+        if gamma.requires_grad:
+            gamma._accumulate((grad * x_hat).sum(axis=axes))
+        if not x.requires_grad:
+            return
+        g = gamma.data.reshape(view)
+        if training:
+            m = x.data.size // x.data.shape[1]
+            d_xhat = grad * g
+            term1 = d_xhat
+            term2 = d_xhat.mean(axis=axes, keepdims=True)
+            term3 = x_hat * (d_xhat * x_hat).mean(axis=axes, keepdims=True)
+            d_x = (term1 - term2 - term3) * inv_std.reshape(view)
+            del m
+        else:
+            d_x = grad * g * inv_std.reshape(view)
+        x._accumulate(d_x.astype(DEFAULT_DTYPE))
+
+    return Tensor._make_from(out.astype(DEFAULT_DTYPE), (x, gamma, beta), backward, "batch_norm")
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis of ``x``."""
+    mean = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean) * inv_std
+    out = gamma.data * x_hat + beta.data
+    dim = x.data.shape[-1]
+
+    def backward(grad: np.ndarray) -> None:
+        if beta.requires_grad:
+            beta._accumulate(_unbroadcast(grad, beta.shape))
+        if gamma.requires_grad:
+            gamma._accumulate(_unbroadcast(grad * x_hat, gamma.shape))
+        if not x.requires_grad:
+            return
+        d_xhat = grad * gamma.data
+        d_x = (
+            d_xhat
+            - d_xhat.mean(axis=-1, keepdims=True)
+            - x_hat * (d_xhat * x_hat).mean(axis=-1, keepdims=True)
+        ) * inv_std
+        x._accumulate(d_x.astype(DEFAULT_DTYPE))
+
+    return Tensor._make_from(out.astype(DEFAULT_DTYPE), (x, gamma, beta), backward, "layer_norm")
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            dot = (grad * out).sum(axis=axis, keepdims=True)
+            x._accumulate(out * (grad - dot))
+
+    return Tensor._make_from(out, (x,), backward, "softmax")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_z
+    soft = np.exp(out)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make_from(out, (x,), backward, "log_softmax")
+
+
+# ----------------------------------------------------------------------
+# Dropout
+# ----------------------------------------------------------------------
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    mask = (rng.random(x.shape) >= p).astype(DEFAULT_DTYPE) / (1.0 - p)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make_from(x.data * mask, (x,), backward, "dropout")
+
+
+# ----------------------------------------------------------------------
+# Fused losses
+# ----------------------------------------------------------------------
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy; ``targets`` are integer class ids (N,)."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = logits.shape[0]
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_z
+    loss = -log_probs[np.arange(n), targets].mean()
+    probs = np.exp(log_probs)
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            d = probs.copy()
+            d[np.arange(n), targets] -= 1.0
+            logits._accumulate(d * (grad / n))
+
+    return Tensor._make_from(np.asarray(loss, dtype=DEFAULT_DTYPE), (logits,), backward, "ce")
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, targets: np.ndarray, pos_weight: Optional[float] = None
+) -> Tensor:
+    """Mean BCE on raw logits (numerically stable log-sum-exp form)."""
+    t = np.asarray(targets, dtype=DEFAULT_DTYPE)
+    z = logits.data
+    # loss = max(z, 0) - z*t + log(1 + exp(-|z|)); weighted variant scales the
+    # positive term by pos_weight.  The sigmoid clip keeps float32 exp finite
+    # for extreme logits (it saturates long before +/-60).
+    sig = 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+    if pos_weight is None:
+        per = np.maximum(z, 0) - z * t + np.log1p(np.exp(-np.abs(z)))
+        grad_local = sig - t
+    else:
+        w = t * pos_weight + (1.0 - t)
+        log_sig = -np.maximum(-z, 0) - np.log1p(np.exp(-np.abs(z)))
+        log_one_minus = -np.maximum(z, 0) - np.log1p(np.exp(-np.abs(z)))
+        per = -(pos_weight * t * log_sig + (1.0 - t) * log_one_minus)
+        grad_local = w * sig - pos_weight * t
+    loss = per.mean()
+    count = z.size
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            logits._accumulate(grad_local * (grad / count))
+
+    return Tensor._make_from(np.asarray(loss, dtype=DEFAULT_DTYPE), (logits,), backward, "bce_logits")
+
+
+def mse_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    t = np.asarray(targets, dtype=DEFAULT_DTYPE)
+    diff = pred.data - t
+    loss = np.mean(diff * diff)
+    count = diff.size
+
+    def backward(grad: np.ndarray) -> None:
+        if pred.requires_grad:
+            pred._accumulate(2.0 * diff * (grad / count))
+
+    return Tensor._make_from(np.asarray(loss, dtype=DEFAULT_DTYPE), (pred,), backward, "mse")

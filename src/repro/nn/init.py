@@ -1,0 +1,52 @@
+"""Weight initialization schemes (Kaiming / Xavier / uniform)."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import DEFAULT_DTYPE, Tensor
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in/fan-out for linear (out, in) or conv (out, in, k)."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 3:
+        receptive = shape[2]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported parameter shape {shape}")
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)) -> Tensor:
+    """He/Kaiming uniform init (default gain for ReLU nonlinearities)."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    data = rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+    return Tensor(data, requires_grad=True)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    """Glorot/Xavier uniform init (default for tanh/sigmoid/attention)."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    data = rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+    return Tensor(data, requires_grad=True)
+
+
+def uniform_bias(fan_in: int, size: int, rng: np.random.Generator) -> Tensor:
+    """PyTorch-style bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    data = rng.uniform(-bound, bound, size=size).astype(DEFAULT_DTYPE)
+    return Tensor(data, requires_grad=True)
+
+
+def zeros_param(shape) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=True)
+
+
+def ones_param(shape) -> Tensor:
+    return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=True)

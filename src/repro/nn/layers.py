@@ -1,0 +1,171 @@
+"""Standard layers: Linear, Conv1d, norms, dropout, activations, pooling."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .modules import Module
+from .tensor import DEFAULT_DTYPE, Tensor
+
+
+def _default_rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b`` on the last axis."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: Optional[int] = None):
+        super().__init__()
+        rng = _default_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = init.kaiming_uniform((out_features, in_features), rng, gain=1.0)
+        self.bias = init.uniform_bias(in_features, out_features, rng) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.swapaxes(0, 1) if self.weight.ndim == 2 else self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv1d(Module):
+    """1-D convolution over ``(N, C, L)`` inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        bias: bool = True,
+        seed: Optional[int] = None,
+    ):
+        super().__init__()
+        rng = _default_rng(seed)
+        if padding is None:
+            # "same" padding for odd kernels at stride 1.
+            padding = (kernel_size - 1) // 2
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = init.kaiming_uniform((out_channels, in_channels, kernel_size), rng)
+        self.bias = init.uniform_bias(in_channels * kernel_size, out_channels, rng) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv1d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class BatchNorm1d(Module):
+    """Batch normalization for ``(N, C, L)`` or ``(N, C)`` inputs."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = init.ones_param(num_features)
+        self.beta = init.zeros_param(num_features)
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=DEFAULT_DTYPE))
+        self.register_buffer("running_var", np.ones(num_features, dtype=DEFAULT_DTYPE))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = init.ones_param(dim)
+        self.beta = init.zeros_param(dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.gamma, self.beta, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout with its own RNG stream (seeded for determinism)."""
+
+    def __init__(self, p: float = 0.5, seed: Optional[int] = None):
+        super().__init__()
+        self.p = p
+        self._rng = _default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class GELU(Module):
+    """Tanh-approximation GELU (as in BERT-family transformers)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        inner = (x + x * x * x * 0.044715) * 0.7978845608028654
+        return x * 0.5 * (inner.tanh() + 1.0)
+
+
+class MaxPool1d(Module):
+    def __init__(self, kernel: int):
+        super().__init__()
+        self.kernel = kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool1d(x, self.kernel)
+
+
+class AvgPool1d(Module):
+    def __init__(self, kernel: int):
+        super().__init__()
+        self.kernel = kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool1d(x, self.kernel)
+
+
+class GlobalAvgPool1d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool1d(x)
+
+
+class UpsampleNearest1d(Module):
+    def __init__(self, scale: int):
+        super().__init__()
+        self.scale = scale
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.upsample_nearest1d(x, self.scale)

@@ -1,0 +1,34 @@
+"""Loss modules wrapping the fused functional implementations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .modules import Module
+from .tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy on ``(N, num_classes)`` logits vs int targets."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets)
+
+
+class BCEWithLogitsLoss(Module):
+    """Numerically stable binary cross-entropy on raw logits."""
+
+    def __init__(self, pos_weight: Optional[float] = None):
+        super().__init__()
+        self.pos_weight = pos_weight
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.binary_cross_entropy_with_logits(logits, targets, pos_weight=self.pos_weight)
+
+
+class MSELoss(Module):
+    def forward(self, pred: Tensor, targets: np.ndarray) -> Tensor:
+        return F.mse_loss(pred, targets)

@@ -1,0 +1,90 @@
+"""Recurrent layers: GRU cell, (bi)directional GRU over sequences.
+
+The GRU follows the PyTorch gate convention:
+
+    r_t = sigmoid(W_ir x_t + b_ir + W_hr h_{t-1} + b_hr)
+    z_t = sigmoid(W_iz x_t + b_iz + W_hz h_{t-1} + b_hz)
+    n_t = tanh(W_in x_t + b_in + r_t * (W_hn h_{t-1} + b_hn))
+    h_t = (1 - z_t) * n_t + z_t * h_{t-1}
+
+The sequence loop builds the autograd graph timestep by timestep; backward
+is handled by the engine (backpropagation through time).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init
+from .modules import Module
+from .tensor import Tensor, concat, stack
+
+
+class GRUCell(Module):
+    """Single-step GRU cell operating on ``(N, input_size)`` inputs."""
+
+    def __init__(self, input_size: int, hidden_size: int, seed: Optional[int] = None):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Stacked gate weights: rows ordered (reset, update, new).
+        self.weight_ih = init.xavier_uniform((3 * hidden_size, input_size), rng)
+        self.weight_hh = init.xavier_uniform((3 * hidden_size, hidden_size), rng)
+        self.bias_ih = init.zeros_param(3 * hidden_size)
+        self.bias_hh = init.zeros_param(3 * hidden_size)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        gates_x = x.matmul(self.weight_ih.swapaxes(0, 1)) + self.bias_ih
+        gates_h = h.matmul(self.weight_hh.swapaxes(0, 1)) + self.bias_hh
+        hs = self.hidden_size
+        r = (gates_x[:, 0:hs] + gates_h[:, 0:hs]).sigmoid()
+        z = (gates_x[:, hs : 2 * hs] + gates_h[:, hs : 2 * hs]).sigmoid()
+        n = (gates_x[:, 2 * hs : 3 * hs] + r * gates_h[:, 2 * hs : 3 * hs]).tanh()
+        return (1.0 - z) * n + z * h
+
+
+class GRU(Module):
+    """GRU over ``(N, L, input_size)`` sequences, optionally bidirectional.
+
+    Returns the full output sequence ``(N, L, D * hidden_size)`` where
+    ``D = 2`` if bidirectional.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        bidirectional: bool = False,
+        seed: Optional[int] = None,
+    ):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.bidirectional = bidirectional
+        self.cell_fw = GRUCell(input_size, hidden_size, seed=seed)
+        if bidirectional:
+            self.cell_bw = GRUCell(input_size, hidden_size, seed=None if seed is None else seed + 1)
+
+    def _run_direction(self, x: Tensor, cell: GRUCell, reverse: bool) -> Tensor:
+        n, length, _ = x.shape
+        h = Tensor(np.zeros((n, cell.hidden_size), dtype=np.float32))
+        outputs = []
+        steps = range(length - 1, -1, -1) if reverse else range(length)
+        for t in steps:
+            h = cell(x[:, t, :], h)
+            outputs.append(h)
+        if reverse:
+            outputs.reverse()
+        return stack(outputs, axis=1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 3:
+            raise ValueError(f"GRU expects (N, L, C) input, got shape {x.shape}")
+        forward_seq = self._run_direction(x, self.cell_fw, reverse=False)
+        if not self.bidirectional:
+            return forward_seq
+        backward_seq = self._run_direction(x, self.cell_bw, reverse=True)
+        return concat([forward_seq, backward_seq], axis=2)

@@ -1,0 +1,27 @@
+"""Saving and loading module state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .modules import Module
+
+
+def save_state(module: Module, path: str) -> None:
+    """Serialize ``module.state_dict()`` to ``path`` (npz archive)."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: str) -> None:
+    """Load an archive produced by :func:`save_state` into ``module``."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {k: archive[k] for k in archive.files}
+    module.load_state_dict(state)

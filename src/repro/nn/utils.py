@@ -1,0 +1,84 @@
+"""Utilities: seeding, parameter counting, finite-difference grad checks."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .modules import Module
+from .tensor import DEFAULT_DTYPE, Tensor
+
+
+def seed_everything(seed: int) -> None:
+    """Seed Python and the global NumPy legacy RNG (layers use local RNGs)."""
+    random.seed(seed)
+    np.random.seed(seed)
+
+
+def count_parameters(module: Module) -> int:
+    """Number of trainable scalar parameters in ``module``."""
+    return module.num_parameters()
+
+
+def numerical_gradient(
+    fn: Callable[[], Tensor], param: Tensor, eps: float = 1e-3
+) -> np.ndarray:
+    """Central finite-difference gradient of scalar ``fn()`` w.r.t. ``param``.
+
+    ``fn`` must recompute the forward pass from scratch each call (it reads
+    ``param.data``, which this routine perturbs in place).
+    """
+    grad = np.zeros_like(param.data, dtype=np.float64)
+    flat = param.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = float(fn().data)
+        flat[i] = original - eps
+        down = float(fn().data)
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[], Tensor],
+    params: Sequence[Tensor],
+    eps: float = 1e-3,
+    rtol: float = 5e-2,
+    atol: float = 1e-3,
+) -> None:
+    """Assert analytic gradients of ``fn`` match finite differences.
+
+    Runs ``fn`` once with autograd, then compares each parameter's ``.grad``
+    against :func:`numerical_gradient`.  Tolerances are float32-appropriate.
+    Raises ``AssertionError`` with the offending parameter index on mismatch.
+    """
+    for param in params:
+        param.grad = None
+    loss = fn()
+    loss.backward()
+    analytic = [None if p.grad is None else p.grad.copy() for p in params]
+    for idx, param in enumerate(params):
+        numeric = numerical_gradient(fn, param, eps=eps)
+        got = analytic[idx]
+        if got is None:
+            if np.max(np.abs(numeric)) > atol:
+                raise AssertionError(f"param {idx}: missing analytic gradient")
+            continue
+        if not np.allclose(got, numeric, rtol=rtol, atol=atol):
+            diff = np.max(np.abs(got - numeric))
+            raise AssertionError(
+                f"param {idx}: gradient mismatch (max abs diff {diff:.3e})"
+            )
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(N,)`` to one-hot ``(N, num_classes)`` float array."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((labels.size, num_classes), dtype=DEFAULT_DTYPE)
+    out[np.arange(labels.size), labels] = 1.0
+    return out

@@ -1,0 +1,138 @@
+"""Appliance specifications mirroring Table I of the paper.
+
+Each :class:`ApplianceSpec` carries the detection parameters the paper uses
+(`ON power` threshold and `Avg. Power` used for energy reconstruction) plus
+the usage model that drives the synthetic signature generator: how often the
+appliance runs and at which hours of the day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ApplianceSpec:
+    """Static description of one appliance type.
+
+    Attributes:
+        name: canonical appliance key (snake_case).
+        on_threshold_watts: per-timestamp power above which the appliance is
+            considered ON (Table I "ON Power").
+        avg_power_watts: average active power used to rebuild the power
+            estimate from binary status (Table I "Avg. Power", the paper's
+            ``P_a``).
+        events_per_day: mean number of activations per day (Poisson rate).
+        duration_minutes: (low, high) uniform range of one activation.
+        hour_weights: 24 relative weights for the start hour of events.
+    """
+
+    name: str
+    on_threshold_watts: float
+    avg_power_watts: float
+    events_per_day: float
+    duration_minutes: Tuple[float, float]
+    hour_weights: Tuple[float, ...] = field(default=tuple([1.0] * 24))
+
+    def __post_init__(self) -> None:
+        if len(self.hour_weights) != 24:
+            raise ValueError(f"{self.name}: hour_weights must have 24 entries")
+        if self.duration_minutes[0] > self.duration_minutes[1]:
+            raise ValueError(f"{self.name}: invalid duration range")
+
+
+def _hours(peaks: Dict[int, float], base: float = 0.05) -> Tuple[float, ...]:
+    """Build a 24-hour weight vector from peak-hour overrides."""
+    weights = [base] * 24
+    for hour, value in peaks.items():
+        weights[hour % 24] = value
+    return tuple(weights)
+
+
+# Morning + evening tea/coffee peaks.
+_KETTLE_HOURS = _hours({7: 1.0, 8: 0.9, 9: 0.4, 12: 0.4, 17: 0.5, 18: 0.6, 19: 0.5, 21: 0.3})
+# Meal times.
+_MICROWAVE_HOURS = _hours({7: 0.5, 12: 1.0, 13: 0.7, 18: 0.8, 19: 1.0, 20: 0.5})
+# After dinner / overnight-start dishwasher runs.
+_DISHWASHER_HOURS = _hours({13: 0.4, 20: 1.0, 21: 0.9, 22: 0.6})
+# Daytime laundry.
+_WASHER_HOURS = _hours({8: 0.6, 9: 0.8, 10: 1.0, 11: 0.8, 14: 0.5, 15: 0.5})
+# Morning showers dominate.
+_SHOWER_HOURS = _hours({6: 0.6, 7: 1.0, 8: 0.9, 19: 0.3, 22: 0.3})
+# Overnight EV charging.
+_EV_HOURS = _hours({0: 0.8, 1: 0.7, 2: 0.5, 19: 0.4, 20: 0.6, 21: 0.8, 22: 1.0, 23: 0.9})
+# Fridge compressor runs around the clock.
+_FLAT_HOURS = tuple([1.0] * 24)
+
+
+#: Registry of appliance specs; thresholds and average powers follow Table I.
+APPLIANCES: Dict[str, ApplianceSpec] = {
+    "kettle": ApplianceSpec(
+        name="kettle",
+        on_threshold_watts=500.0,
+        avg_power_watts=2000.0,
+        events_per_day=3.5,
+        duration_minutes=(2.0, 5.0),
+        hour_weights=_KETTLE_HOURS,
+    ),
+    "microwave": ApplianceSpec(
+        name="microwave",
+        on_threshold_watts=200.0,
+        avg_power_watts=1000.0,
+        events_per_day=2.5,
+        duration_minutes=(1.0, 8.0),
+        hour_weights=_MICROWAVE_HOURS,
+    ),
+    "dishwasher": ApplianceSpec(
+        name="dishwasher",
+        on_threshold_watts=300.0,
+        avg_power_watts=800.0,
+        events_per_day=0.7,
+        duration_minutes=(75.0, 140.0),
+        hour_weights=_DISHWASHER_HOURS,
+    ),
+    "washing_machine": ApplianceSpec(
+        name="washing_machine",
+        on_threshold_watts=300.0,
+        avg_power_watts=500.0,
+        events_per_day=0.5,
+        duration_minutes=(55.0, 110.0),
+        hour_weights=_WASHER_HOURS,
+    ),
+    "shower": ApplianceSpec(
+        name="shower",
+        on_threshold_watts=1000.0,
+        avg_power_watts=8000.0,
+        events_per_day=1.5,
+        duration_minutes=(4.0, 12.0),
+        hour_weights=_SHOWER_HOURS,
+    ),
+    "electric_vehicle": ApplianceSpec(
+        name="electric_vehicle",
+        on_threshold_watts=1000.0,
+        avg_power_watts=4000.0,
+        events_per_day=0.45,
+        duration_minutes=(90.0, 420.0),
+        hour_weights=_EV_HOURS,
+    ),
+    # Always-cycling distractor (paper excludes it from localization targets
+    # precisely because it is always ON; we keep it in the aggregate noise).
+    "fridge": ApplianceSpec(
+        name="fridge",
+        on_threshold_watts=50.0,
+        avg_power_watts=120.0,
+        events_per_day=48.0,
+        duration_minutes=(10.0, 20.0),
+        hour_weights=_FLAT_HOURS,
+    ),
+}
+
+
+def get_spec(name: str) -> ApplianceSpec:
+    """Look up an appliance spec by name, with a helpful error message."""
+    try:
+        return APPLIANCES[name]
+    except KeyError:
+        known = ", ".join(sorted(APPLIANCES))
+        raise KeyError(f"unknown appliance {name!r}; known: {known}") from None

@@ -1,0 +1,111 @@
+"""Label accounting utilities (the paper's central cost axis).
+
+The paper compares methods by the *number of labels* their training
+requires: strongly supervised sequence-to-sequence methods consume one
+label per timestamp (``w`` per window), weakly supervised methods one label
+per window, and the possession-only pipeline a single label per household.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .preprocessing import WindowSet
+
+
+@dataclass(frozen=True)
+class LabelBudget:
+    """Number of annotated scalars consumed by a training configuration."""
+
+    n_windows: int
+    window: int
+    scheme: str  # "strong" | "weak" | "possession"
+    n_households: int = 0
+
+    @property
+    def n_labels(self) -> int:
+        if self.scheme == "strong":
+            return self.n_windows * self.window
+        if self.scheme == "weak":
+            return self.n_windows
+        if self.scheme == "possession":
+            return self.n_households
+        raise ValueError(f"unknown scheme {self.scheme!r}")
+
+
+def strong_budget(windows: WindowSet) -> LabelBudget:
+    return LabelBudget(len(windows), windows.window, "strong")
+
+
+def weak_budget(windows: WindowSet) -> LabelBudget:
+    return LabelBudget(len(windows), windows.window, "weak")
+
+
+def possession_budget(n_households: int) -> LabelBudget:
+    return LabelBudget(0, 0, "possession", n_households=n_households)
+
+
+def subset_windows(windows: WindowSet, n: int, rng: np.random.Generator) -> WindowSet:
+    """Randomly keep ``n`` windows (label-budget sweeps of Fig. 5).
+
+    Sampling is stratified so that, whenever possible, both weak classes
+    remain represented (the paper gradually adds houses/subsequences; a
+    draw with no positive windows would make weak training degenerate).
+    """
+    n = min(n, len(windows))
+    pos = np.flatnonzero(windows.weak == 1)
+    neg = np.flatnonzero(windows.weak == 0)
+    if len(pos) == 0 or len(neg) == 0 or n < 2:
+        idx = rng.choice(len(windows), size=n, replace=False)
+    else:
+        n_pos = max(1, int(round(n * len(pos) / len(windows))))
+        n_pos = min(n_pos, len(pos), n - 1)
+        n_neg = min(n - n_pos, len(neg))
+        idx = np.concatenate(
+            [
+                rng.choice(pos, size=n_pos, replace=False),
+                rng.choice(neg, size=n_neg, replace=False),
+            ]
+        )
+    idx = np.sort(idx)
+    return WindowSet(
+        inputs=windows.inputs[idx],
+        strong=windows.strong[idx],
+        weak=windows.weak[idx],
+        aggregate_watts=windows.aggregate_watts[idx],
+        power_watts=windows.power_watts[idx],
+        house_id=windows.house_id,
+    )
+
+
+def replicate_possession_label(
+    windows: WindowSet, owns_appliance: bool
+) -> WindowSet:
+    """Assign a household's possession label to every sliced window.
+
+    This is the §V-H pipeline step: "the label of the entire consumption
+    series (i.e., label of possession) is assigned to all sliced
+    subsequences during the training process without any other information."
+    """
+    weak = np.full(len(windows), 1.0 if owns_appliance else 0.0, dtype=np.float32)
+    return WindowSet(
+        inputs=windows.inputs,
+        strong=windows.strong,
+        weak=weak,
+        aggregate_watts=windows.aggregate_watts,
+        power_watts=windows.power_watts,
+        house_id=windows.house_id,
+    )
+
+
+def label_sweep_sizes(total: int, points: int = 6, minimum: int = 8) -> List[int]:
+    """Log-spaced window counts for a label-budget sweep up to ``total``."""
+    if total <= minimum:
+        return [total]
+    sizes = np.unique(
+        np.round(np.logspace(np.log10(minimum), np.log10(total), points)).astype(int)
+    )
+    return [int(s) for s in sizes if s >= 2]

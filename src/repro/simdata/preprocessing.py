@@ -1,0 +1,169 @@
+"""Preprocessing pipeline matching §V-B of the paper.
+
+Steps: resample to round timestamps by interval averaging, forward-fill
+missing values up to a dataset-specific maximum gap (Table I "Max. ffill"),
+slice into non-overlapping subsequences of length ``w`` (default 510),
+discard windows still containing NaNs, and scale the aggregate by 1/1000
+for training stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+SCALE_DIVISOR = 1000.0  # paper: divide aggregate input by 1000
+DEFAULT_WINDOW = 510  # paper: non-overlapping window length w = 510
+
+
+def resample_average(series: np.ndarray, factor: int) -> np.ndarray:
+    """Downsample by integer ``factor`` via interval averaging.
+
+    NaNs propagate: an interval whose samples are all NaN stays NaN, a
+    partially observed interval averages its valid samples (this mirrors
+    "readjusting recorded values to round timestamps by averaging").
+    Trailing samples that do not fill a whole interval are dropped.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    if factor == 1:
+        return series.copy()
+    n = (len(series) // factor) * factor
+    blocks = series[:n].reshape(-1, factor)
+    with np.errstate(invalid="ignore"):
+        valid = ~np.isnan(blocks)
+        counts = valid.sum(axis=1)
+        sums = np.where(valid, blocks, 0.0).sum(axis=1)
+        out = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    return out.astype(series.dtype)
+
+
+def forward_fill(series: np.ndarray, max_gap: int) -> np.ndarray:
+    """Forward-fill NaN runs of length <= ``max_gap``; longer gaps remain.
+
+    Matches the paper's bounded forward-fill (e.g. 3 min for UK-DALE/REFIT,
+    30 min for IDEAL, 1h30 for EDF at the respective sampling rates).
+    """
+    if max_gap < 0:
+        raise ValueError("max_gap must be >= 0")
+    out = series.copy()
+    isnan = np.isnan(out)
+    if not isnan.any() or max_gap == 0:
+        return out
+    n = len(out)
+    i = 0
+    while i < n:
+        if not isnan[i]:
+            i += 1
+            continue
+        start = i
+        while i < n and isnan[i]:
+            i += 1
+        gap = i - start
+        if gap <= max_gap and start > 0:
+            out[start:i] = out[start - 1]
+    return out
+
+
+def on_status(power: np.ndarray, threshold_watts: float) -> np.ndarray:
+    """Binary ON/OFF state from a power channel (Table I thresholds)."""
+    return (np.nan_to_num(power, nan=0.0) >= threshold_watts).astype(np.float32)
+
+
+def scale_aggregate(aggregate_watts: np.ndarray) -> np.ndarray:
+    """Scale raw Watts to the /1000 training range used by the paper."""
+    return (aggregate_watts / SCALE_DIVISOR).astype(np.float32)
+
+
+@dataclass
+class WindowSet:
+    """Sliced, model-ready windows for one household and one appliance.
+
+    Attributes:
+        inputs: scaled aggregate windows, shape ``(n_windows, w)``.
+        strong: per-timestamp status labels, same shape.
+        weak: per-window labels (any ON within the window), ``(n_windows,)``.
+        aggregate_watts: unscaled aggregate windows (for energy metrics).
+        power_watts: ground-truth appliance power windows (may be zeros for
+            possession-only data).
+        house_id: originating household.
+    """
+
+    inputs: np.ndarray
+    strong: np.ndarray
+    weak: np.ndarray
+    aggregate_watts: np.ndarray
+    power_watts: np.ndarray
+    house_id: str
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def window(self) -> int:
+        return self.inputs.shape[1]
+
+    @property
+    def n_strong_labels(self) -> int:
+        """Label cost if trained fully supervised: w per window."""
+        return self.strong.size
+
+    @property
+    def n_weak_labels(self) -> int:
+        """Label cost if trained weakly: one per window."""
+        return len(self.weak)
+
+
+def slice_windows(
+    aggregate_watts: np.ndarray,
+    appliance_power: Optional[np.ndarray],
+    threshold_watts: float,
+    window: int = DEFAULT_WINDOW,
+    house_id: str = "?",
+) -> WindowSet:
+    """Slice a household series into non-overlapping model-ready windows.
+
+    Windows that still contain NaN after preprocessing are discarded
+    (paper: "subsequences containing any remaining missing values after our
+    preprocessing are discarded").
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    n = (len(aggregate_watts) // window) * window
+    agg = aggregate_watts[:n].reshape(-1, window)
+    keep = ~np.isnan(agg).any(axis=1)
+    agg = agg[keep]
+    if appliance_power is not None:
+        power = appliance_power[:n].reshape(-1, window)[keep]
+    else:
+        power = np.zeros_like(agg)
+    strong = on_status(power, threshold_watts)
+    weak = (strong.max(axis=1) > 0).astype(np.float32)
+    return WindowSet(
+        inputs=scale_aggregate(agg),
+        strong=strong,
+        weak=weak,
+        aggregate_watts=agg.astype(np.float32),
+        power_watts=power.astype(np.float32),
+        house_id=house_id,
+    )
+
+
+def concat_window_sets(sets: Tuple[WindowSet, ...] | list) -> WindowSet:
+    """Concatenate window sets from several houses (training pools)."""
+    sets = [s for s in sets if len(s) > 0]
+    if not sets:
+        raise ValueError("no non-empty window sets to concatenate")
+    widths = {s.window for s in sets}
+    if len(widths) != 1:
+        raise ValueError(f"mixed window lengths: {sorted(widths)}")
+    return WindowSet(
+        inputs=np.concatenate([s.inputs for s in sets]),
+        strong=np.concatenate([s.strong for s in sets]),
+        weak=np.concatenate([s.weak for s in sets]),
+        aggregate_watts=np.concatenate([s.aggregate_watts for s in sets]),
+        power_watts=np.concatenate([s.power_watts for s in sets]),
+        house_id="+".join(s.house_id for s in sets),
+    )

@@ -1,0 +1,294 @@
+"""Shared training loops for classifiers and sequence-to-sequence models.
+
+Three supervision regimes cover every method in the paper:
+
+* :func:`train_classifier` — window-level binary classification (CamAL's
+  ResNets, Problem 1), softmax cross-entropy.
+* :func:`train_seq2seq` — per-timestamp status prediction (strongly
+  supervised NILM baselines, Problem 2), BCE on frame logits.
+* :func:`train_weak_mil` — multiple-instance learning (CRNN-weak), BCE on
+  the pooled sequence logit only.
+
+All loops use Adam, optional gradient clipping, and early stopping on a
+validation loss.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import nn
+from .nn import functional as F
+from .nn.tensor import Tensor
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters shared by all training loops."""
+
+    epochs: int = 20
+    batch_size: int = 64
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    patience: int = 5  # early-stopping patience in epochs (0 disables)
+    clip_grad: float = 5.0  # global-norm clip (0 disables)
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run."""
+
+    train_losses: List[float] = field(default_factory=list)
+    val_losses: List[float] = field(default_factory=list)
+    best_val_loss: float = float("inf")
+    best_epoch: int = -1
+    wall_time_seconds: float = 0.0
+    epoch_times: List[float] = field(default_factory=list)
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_losses)
+
+
+def _iterate_batches(
+    n: int, batch_size: int, rng: np.random.Generator, shuffle: bool = True
+):
+    order = rng.permutation(n) if shuffle else np.arange(n)
+    for start in range(0, n, batch_size):
+        yield order[start : start + batch_size]
+
+
+def _restore_best(model: nn.Module, best_state: Optional[Dict[str, np.ndarray]]) -> None:
+    if best_state is not None:
+        model.load_state_dict(best_state)
+
+
+def _run_epochs(
+    model: nn.Module,
+    loss_on_batch: Callable[[np.ndarray], Tensor],
+    val_loss: Callable[[], float],
+    n_train: int,
+    config: TrainConfig,
+) -> TrainResult:
+    """Generic epoch loop with early stopping; returns the loss history."""
+    rng = np.random.default_rng(config.seed)
+    optimizer = nn.Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    result = TrainResult()
+    best_state: Optional[Dict[str, np.ndarray]] = None
+    bad_epochs = 0
+    start_time = time.perf_counter()
+
+    for epoch in range(config.epochs):
+        epoch_start = time.perf_counter()
+        model.train()
+        total, batches = 0.0, 0
+        for idx in _iterate_batches(n_train, config.batch_size, rng):
+            loss = loss_on_batch(idx)
+            optimizer.zero_grad()
+            loss.backward()
+            if config.clip_grad > 0:
+                optimizer.clip_grad_norm(config.clip_grad)
+            optimizer.step()
+            total += loss.item()
+            batches += 1
+        result.train_losses.append(total / max(batches, 1))
+
+        model.eval()
+        current_val = val_loss()
+        result.val_losses.append(current_val)
+        result.epoch_times.append(time.perf_counter() - epoch_start)
+        if config.verbose:
+            print(
+                f"  epoch {epoch + 1}/{config.epochs} "
+                f"train={result.train_losses[-1]:.4f} val={current_val:.4f}"
+            )
+
+        if current_val < result.best_val_loss - 1e-6:
+            result.best_val_loss = current_val
+            result.best_epoch = epoch
+            best_state = model.state_dict()
+            bad_epochs = 0
+        else:
+            bad_epochs += 1
+            if config.patience > 0 and bad_epochs >= config.patience:
+                break
+
+    _restore_best(model, best_state)
+    result.wall_time_seconds = time.perf_counter() - start_time
+    return result
+
+
+# ----------------------------------------------------------------------
+# Window-level classification (Problem 1)
+# ----------------------------------------------------------------------
+def train_classifier(
+    model: nn.Module,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    config: TrainConfig,
+) -> TrainResult:
+    """Train a binary window classifier with softmax cross-entropy.
+
+    ``model`` maps ``(N, 1, L)`` inputs to ``(N, 2)`` logits; inputs are the
+    scaled aggregate windows ``(N, L)`` and labels the weak window labels.
+    """
+    x_train = np.asarray(x_train, dtype=np.float32)
+    y_train = np.asarray(y_train, dtype=np.int64)
+    x_val = np.asarray(x_val, dtype=np.float32)
+    y_val = np.asarray(y_val, dtype=np.int64)
+
+    def loss_on_batch(idx: np.ndarray) -> Tensor:
+        batch = Tensor(x_train[idx][:, None, :])
+        return F.cross_entropy(model(batch), y_train[idx])
+
+    def val_loss() -> float:
+        return evaluate_classifier_loss(model, x_val, y_val, config.batch_size)
+
+    return _run_epochs(model, loss_on_batch, val_loss, len(x_train), config)
+
+
+def evaluate_classifier_loss(
+    model: nn.Module, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+) -> float:
+    """Mean cross-entropy of a classifier over a dataset (no grad)."""
+    x = np.asarray(x, dtype=np.float32)
+    y = np.asarray(y, dtype=np.int64)
+    if len(x) == 0:
+        return float("inf")
+    total, count = 0.0, 0
+    with nn.no_grad():
+        for start in range(0, len(x), batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            loss = F.cross_entropy(model(Tensor(xb[:, None, :])), yb)
+            total += loss.item() * len(xb)
+            count += len(xb)
+    return total / count
+
+
+def predict_proba(model: nn.Module, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """Positive-class probabilities of a binary classifier, shape ``(N,)``."""
+    x = np.asarray(x, dtype=np.float32)
+    outputs = []
+    with nn.no_grad():
+        for start in range(0, len(x), batch_size):
+            xb = x[start : start + batch_size]
+            logits = model(Tensor(xb[:, None, :]))
+            probs = F.softmax(logits, axis=1).data[:, 1]
+            outputs.append(probs)
+    return np.concatenate(outputs) if outputs else np.zeros(0, dtype=np.float32)
+
+
+# ----------------------------------------------------------------------
+# Per-timestamp sequence-to-sequence training (Problem 2, strong labels)
+# ----------------------------------------------------------------------
+def train_seq2seq(
+    model: nn.Module,
+    x_train: np.ndarray,
+    s_train: np.ndarray,
+    x_val: np.ndarray,
+    s_val: np.ndarray,
+    config: TrainConfig,
+) -> TrainResult:
+    """Train a per-timestamp status model with frame-level BCE.
+
+    ``model`` maps ``(N, 1, L)`` to frame logits ``(N, L)``; ``s_*`` are
+    per-timestamp binary status labels (the paper's strong labels).
+    """
+    x_train = np.asarray(x_train, dtype=np.float32)
+    s_train = np.asarray(s_train, dtype=np.float32)
+    x_val = np.asarray(x_val, dtype=np.float32)
+    s_val = np.asarray(s_val, dtype=np.float32)
+
+    def loss_on_batch(idx: np.ndarray) -> Tensor:
+        logits = model(Tensor(x_train[idx][:, None, :]))
+        return F.binary_cross_entropy_with_logits(logits, s_train[idx])
+
+    def val_loss() -> float:
+        return evaluate_seq2seq_loss(model, x_val, s_val, config.batch_size)
+
+    return _run_epochs(model, loss_on_batch, val_loss, len(x_train), config)
+
+
+def evaluate_seq2seq_loss(
+    model: nn.Module, x: np.ndarray, s: np.ndarray, batch_size: int = 256
+) -> float:
+    x = np.asarray(x, dtype=np.float32)
+    s = np.asarray(s, dtype=np.float32)
+    if len(x) == 0:
+        return float("inf")
+    total, count = 0.0, 0
+    with nn.no_grad():
+        for start in range(0, len(x), batch_size):
+            xb = x[start : start + batch_size]
+            sb = s[start : start + batch_size]
+            loss = F.binary_cross_entropy_with_logits(model(Tensor(xb[:, None, :])), sb)
+            total += loss.item() * len(xb)
+            count += len(xb)
+    return total / count
+
+
+def predict_status_seq2seq(
+    model: nn.Module, x: np.ndarray, batch_size: int = 256, threshold: float = 0.5
+) -> np.ndarray:
+    """Binary per-timestamp predictions of a seq2seq model, ``(N, L)``."""
+    x = np.asarray(x, dtype=np.float32)
+    outputs = []
+    with nn.no_grad():
+        for start in range(0, len(x), batch_size):
+            xb = x[start : start + batch_size]
+            logits = model(Tensor(xb[:, None, :])).data
+            outputs.append((1.0 / (1.0 + np.exp(-logits)) >= threshold).astype(np.float32))
+    return np.concatenate(outputs) if outputs else np.zeros((0, x.shape[1]), dtype=np.float32)
+
+
+# ----------------------------------------------------------------------
+# Weak multiple-instance training (CRNN-weak)
+# ----------------------------------------------------------------------
+def train_weak_mil(
+    model: nn.Module,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    config: TrainConfig,
+) -> TrainResult:
+    """Train a MIL model on weak (per-window) labels only.
+
+    ``model.forward_weak`` maps ``(N, 1, L)`` to a pooled sequence logit
+    ``(N,)``; frame-level predictions remain available through the model's
+    ``forward`` for localization at test time.
+    """
+    x_train = np.asarray(x_train, dtype=np.float32)
+    y_train = np.asarray(y_train, dtype=np.float32)
+    x_val = np.asarray(x_val, dtype=np.float32)
+    y_val = np.asarray(y_val, dtype=np.float32)
+
+    def loss_on_batch(idx: np.ndarray) -> Tensor:
+        seq_logits = model.forward_weak(Tensor(x_train[idx][:, None, :]))
+        return F.binary_cross_entropy_with_logits(seq_logits, y_train[idx])
+
+    def val_loss() -> float:
+        if len(x_val) == 0:
+            return float("inf")
+        total, count = 0.0, 0
+        with nn.no_grad():
+            for start in range(0, len(x_val), config.batch_size):
+                xb = x_val[start : start + config.batch_size]
+                yb = y_val[start : start + config.batch_size]
+                loss = F.binary_cross_entropy_with_logits(
+                    model.forward_weak(Tensor(xb[:, None, :])), yb
+                )
+                total += loss.item() * len(xb)
+                count += len(xb)
+        return total / count
+
+    return _run_epochs(model, loss_on_batch, val_loss, len(x_train), config)

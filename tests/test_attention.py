@@ -1,0 +1,67 @@
+"""Tests for multi-head self-attention and the transformer encoder layer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestMHSA:
+    def test_output_shape(self):
+        attn = nn.MultiHeadSelfAttention(8, 2, seed=0)
+        out = attn(Tensor(np.zeros((2, 5, 8), dtype=np.float32)))
+        assert out.shape == (2, 5, 8)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(10, 3)
+
+    def test_permutation_equivariance(self):
+        """Self-attention (no positional encoding) commutes with permutations."""
+        attn = nn.MultiHeadSelfAttention(4, 2, seed=1)
+        attn.eval()
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 6, 4)).astype(np.float32)
+        perm = rng.permutation(6)
+        out = attn(Tensor(x)).data
+        out_perm = attn(Tensor(x[:, perm])).data
+        assert np.allclose(out[:, perm], out_perm, atol=1e-4)
+
+    def test_gradients_reach_all_projections(self):
+        attn = nn.MultiHeadSelfAttention(4, 2, seed=2)
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 3, 4)).astype(np.float32), requires_grad=True)
+        attn(x).sum().backward()
+        for proj in (attn.q_proj, attn.k_proj, attn.v_proj, attn.out_proj):
+            assert proj.weight.grad is not None
+
+    def test_constant_input_gives_constant_output(self):
+        attn = nn.MultiHeadSelfAttention(4, 1, seed=3)
+        attn.eval()
+        x = Tensor(np.ones((1, 5, 4), dtype=np.float32))
+        out = attn(x).data
+        assert np.allclose(out, out[:, :1, :], atol=1e-5)
+
+
+class TestTransformerEncoderLayer:
+    def test_shape_preserved(self):
+        layer = nn.TransformerEncoderLayer(8, 2, seed=0)
+        out = layer(Tensor(np.zeros((2, 6, 8), dtype=np.float32)))
+        assert out.shape == (2, 6, 8)
+
+    def test_residual_path_exists(self):
+        """With zeroed sublayer outputs, the block must be the identity."""
+        layer = nn.TransformerEncoderLayer(4, 2, seed=1)
+        layer.eval()
+        layer.attn.out_proj.weight.data[...] = 0.0
+        layer.attn.out_proj.bias.data[...] = 0.0
+        layer.ff[2].weight.data[...] = 0.0
+        layer.ff[2].bias.data[...] = 0.0
+        x = np.random.default_rng(0).normal(size=(1, 3, 4)).astype(np.float32)
+        assert np.allclose(layer(Tensor(x)).data, x, atol=1e-5)
+
+    def test_backward(self):
+        layer = nn.TransformerEncoderLayer(8, 4, dropout=0.1, seed=2)
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 5, 8)).astype(np.float32), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None

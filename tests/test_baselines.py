@@ -1,0 +1,134 @@
+"""Tests for the NILM baseline architectures."""
+
+import numpy as np
+import pytest
+
+from repro import baselines as bl
+from repro.nn import count_parameters
+from repro.nn.tensor import Tensor
+
+
+def _x(n=2, length=32):
+    return Tensor(np.random.default_rng(0).normal(size=(n, 1, length)).astype(np.float32))
+
+
+TINY_CONFIGS = {
+    "CRNN": bl.CRNNConfig(conv_channels=(4, 8, 8), hidden_size=8),
+    "BiGRU": bl.BiGRUConfig(conv_channels=4, hidden_size=6),
+    "UNet": bl.UNetConfig(channels=(4, 8, 8), bottleneck=16),
+    "TPNILM": bl.TPNILMConfig(channels=(4, 8, 8)),
+    "TransNILM": bl.TransNILMConfig(embed_dim=8, num_heads=2, num_layers=1, ff_dim=16),
+}
+
+
+def _build(name):
+    builders = {
+        "CRNN": lambda: bl.CRNN(TINY_CONFIGS["CRNN"]),
+        "BiGRU": lambda: bl.BiGRUNILM(TINY_CONFIGS["BiGRU"]),
+        "UNet": lambda: bl.UNetNILM(TINY_CONFIGS["UNet"]),
+        "TPNILM": lambda: bl.TPNILM(TINY_CONFIGS["TPNILM"]),
+        "TransNILM": lambda: bl.TransNILM(TINY_CONFIGS["TransNILM"]),
+    }
+    return builders[name]()
+
+
+class TestFrameOutputs:
+    @pytest.mark.parametrize("name", sorted(TINY_CONFIGS))
+    def test_output_is_frame_logits(self, name):
+        model = _build(name)
+        out = model(_x(2, 32))
+        assert out.shape == (2, 32)
+
+    @pytest.mark.parametrize("name", sorted(TINY_CONFIGS))
+    def test_backward_reaches_parameters(self, name):
+        model = _build(name)
+        model(_x(1, 32)).sum().backward()
+        grads = [p.grad for p in model.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+    @pytest.mark.parametrize("name", ["CRNN", "BiGRU", "TPNILM", "TransNILM"])
+    def test_arbitrary_lengths(self, name):
+        model = _build(name)
+        model.eval()
+        out = model(_x(1, 40))
+        assert out.shape == (1, 40)
+
+    def test_unet_requires_divisible_length(self):
+        model = _build("UNet")
+        with pytest.raises(ValueError, match="divisible"):
+            model(_x(1, 30))
+
+
+class TestCRNNWeakHead:
+    def test_pooled_logit_shape(self):
+        model = _build("CRNN")
+        out = model.forward_weak(_x(3, 32))
+        assert out.shape == (3,)
+
+    def test_pooling_bounded_by_frame_probs(self):
+        """Linear softmax pooling: min(p) <= p_seq <= max(p)."""
+        model = _build("CRNN")
+        model.eval()
+        x = _x(4, 32)
+        frame_p = 1 / (1 + np.exp(-model(x).data))
+        pooled_p = 1 / (1 + np.exp(-model.forward_weak(x).data))
+        assert np.all(pooled_p <= frame_p.max(axis=1) + 1e-5)
+        assert np.all(pooled_p >= frame_p.min(axis=1) - 1e-5)
+
+    def test_weak_backward(self):
+        model = _build("CRNN")
+        model.forward_weak(_x(2, 32)).sum().backward()
+        assert model.head.weight.grad is not None
+
+
+class TestTableIIParameterCounts:
+    """Default configs must land near the paper's published counts."""
+
+    @pytest.mark.parametrize(
+        "builder,target_k",
+        [
+            (bl.CRNN, 1049),
+            (bl.BiGRUNILM, 244),
+            (bl.UNetNILM, 3197),
+            (bl.TPNILM, 328),
+            (bl.TransNILM, 12418),
+        ],
+    )
+    def test_within_10_percent(self, builder, target_k):
+        count_k = count_parameters(builder()) / 1000.0
+        assert abs(count_k - target_k) / target_k < 0.10
+
+
+class TestCombinatorialOptimization:
+    def test_single_appliance_detection(self):
+        co = bl.CombinatorialOptimization({"kettle": 2000.0}, base_load_watts=100.0)
+        agg = np.array([150.0, 2100.0, 120.0])
+        assert np.allclose(co.predict_status(agg, "kettle"), [0, 1, 0])
+
+    def test_disambiguates_by_power(self):
+        co = bl.CombinatorialOptimization(
+            {"kettle": 2000.0, "microwave": 1000.0}, base_load_watts=0.0
+        )
+        assert co.predict_status(np.array([1000.0]), "microwave")[0] == 1
+        assert co.predict_status(np.array([1000.0]), "kettle")[0] == 0
+        # 3000 W is best explained by both running
+        assert co.predict_status(np.array([3000.0]), "kettle")[0] == 1
+        assert co.predict_status(np.array([3000.0]), "microwave")[0] == 1
+
+    def test_windowed_input_shape(self):
+        co = bl.CombinatorialOptimization({"kettle": 2000.0})
+        out = co.predict_status(np.zeros((3, 10)), "kettle")
+        assert out.shape == (3, 10)
+
+    def test_unknown_appliance_raises(self):
+        co = bl.CombinatorialOptimization({"kettle": 2000.0})
+        with pytest.raises(KeyError):
+            co.predict_status(np.zeros(3), "shower")
+
+    def test_empty_rated_powers_raises(self):
+        with pytest.raises(ValueError):
+            bl.CombinatorialOptimization({})
+
+    def test_too_many_appliances_raises(self):
+        with pytest.raises(ValueError):
+            bl.CombinatorialOptimization({f"a{i}": 10.0 * i for i in range(20)})

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert args.preset == "bench"
+
+    def test_all_subcommand_accepted(self):
+        args = build_parser().parse_args(["all", "--preset", "fast"])
+        assert args.experiment == "all"
+        assert args.preset == "fast"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--preset", "huge"])
+
+    def test_seed_parsed(self):
+        args = build_parser().parse_args(["fig9", "--seed", "7"])
+        assert args.seed == 7
+
+    def test_commands_cover_all_tables_and_figures(self):
+        expected = {
+            "table2", "table3", "table4",
+            "fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9", "fig10",
+        }
+        assert set(COMMANDS) == expected
+
+
+class TestExecution:
+    def test_fig9_runs_fast(self, capsys):
+        """fig9 is analytic (no training) so it can run in the test suite."""
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out
+        assert "strong/weak storage ratio" in out
+
+    def test_table2_runs_fast(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "TransNILM" in out

@@ -1,0 +1,255 @@
+"""Tests for CamAL core: ResNet, CAM, ensemble, localization, energy."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    CamAL,
+    EnsembleConfig,
+    ResNetConfig,
+    ResNetEnsemble,
+    ResNetTSC,
+    compute_cam,
+    ensemble_cam,
+    estimate_power,
+    normalize_cam,
+    train_ensemble,
+)
+from repro.nn.tensor import Tensor
+from repro.training import TrainConfig
+
+TINY = ResNetConfig(kernel_size=3, filters=(4, 8, 8), seed=0)
+
+
+class TestResNet:
+    def test_logits_shape(self):
+        model = ResNetTSC(TINY)
+        out = model(Tensor(np.zeros((3, 1, 32), dtype=np.float32)))
+        assert out.shape == (3, 2)
+
+    def test_features_shape_matches_input_length(self):
+        model = ResNetTSC(TINY)
+        feats = model.features(Tensor(np.zeros((2, 1, 40), dtype=np.float32)))
+        assert feats.shape == (2, 8, 40)  # stride-1 same padding
+
+    def test_variable_input_length(self):
+        """Fully convolutional + GAP: any window length works."""
+        model = ResNetTSC(TINY)
+        model.eval()
+        for length in (16, 50, 127):
+            assert model(Tensor(np.zeros((1, 1, length), dtype=np.float32))).shape == (1, 2)
+
+    def test_forward_with_features_consistent(self):
+        model = ResNetTSC(TINY)
+        model.eval()
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 1, 20)).astype(np.float32))
+        logits_a = model(x).data
+        logits_b, feats = model.forward_with_features(x)
+        assert np.allclose(logits_a, logits_b.data, atol=1e-6)
+
+    def test_kernel_size_property(self):
+        assert ResNetTSC(ResNetConfig(kernel_size=15, filters=(4, 4, 4))).kernel_size == 15
+
+    def test_paper_scale_parameter_count(self):
+        model = ResNetTSC(ResNetConfig(kernel_size=7))
+        count = model.num_parameters()
+        assert 400_000 < count < 800_000  # Table II: ~570K average
+
+    def test_shortcut_only_when_channels_change(self):
+        model = ResNetTSC(TINY)
+        assert model.unit1.shortcut is not None  # 1 -> 4
+        assert model.unit2.shortcut is not None  # 4 -> 8
+        assert model.unit3.shortcut is None  # 8 -> 8
+
+
+class TestCAM:
+    def test_cam_matches_definition(self):
+        """CAM_c(t) must equal sum_k w_ck f_k(t) computed by hand."""
+        model = ResNetTSC(TINY)
+        model.eval()
+        x = np.random.default_rng(0).normal(size=(2, 24)).astype(np.float32)
+        with nn.no_grad():
+            feats = model.features(Tensor(x[:, None, :])).data
+        manual = np.einsum("k,nkl->nl", model.head.weight.data[1], feats)
+        assert np.allclose(compute_cam(model, x, class_index=1), manual, atol=1e-5)
+
+    def test_cam_shape(self):
+        model = ResNetTSC(TINY)
+        model.eval()
+        cam = compute_cam(model, np.zeros((3, 17), dtype=np.float32))
+        assert cam.shape == (3, 17)
+
+    def test_cam_rejects_3d(self):
+        model = ResNetTSC(TINY)
+        with pytest.raises(ValueError):
+            compute_cam(model, np.zeros((1, 1, 17), dtype=np.float32))
+
+    def test_normalize_max_one(self):
+        cam = np.array([[0.5, 2.0, -1.0]], dtype=np.float32)
+        out = normalize_cam(cam)
+        assert out.max() == pytest.approx(1.0)
+        assert out[0, 2] == pytest.approx(-0.5)
+
+    def test_normalize_nonpositive_becomes_zero(self):
+        cam = np.array([[-3.0, -1.0, 0.0]], dtype=np.float32)
+        assert np.allclose(normalize_cam(cam), 0.0)
+
+    def test_normalize_per_window(self):
+        cam = np.array([[1.0, 2.0], [10.0, 5.0]], dtype=np.float32)
+        out = normalize_cam(cam)
+        assert out[0].max() == pytest.approx(1.0)
+        assert out[1].max() == pytest.approx(1.0)
+
+    def test_ensemble_cam_is_mean_of_normalized(self):
+        models = [ResNetTSC(ResNetConfig(kernel_size=3, filters=(4, 4, 4), seed=s)) for s in (0, 1)]
+        for m in models:
+            m.eval()
+        x = np.random.default_rng(1).normal(size=(2, 16)).astype(np.float32)
+        expected = (
+            normalize_cam(compute_cam(models[0], x)) + normalize_cam(compute_cam(models[1], x))
+        ) / 2
+        assert np.allclose(ensemble_cam(models, x), expected, atol=1e-6)
+
+    def test_ensemble_cam_empty_raises(self):
+        with pytest.raises(ValueError):
+            ensemble_cam([], np.zeros((1, 8), dtype=np.float32))
+
+
+def _toy_detection_data(n=60, w=32, seed=0):
+    """Windows where positives contain an obvious spike."""
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, w)).astype(np.float32) * 0.2
+    y = (rng.random(n) > 0.5).astype(np.float32)
+    for i in np.flatnonzero(y == 1):
+        start = rng.integers(0, w - 4)
+        x[i, start : start + 3] += 2.0
+    return x, y
+
+
+class TestEnsembleTraining:
+    def test_algorithm1_candidate_count_and_selection(self):
+        x, y = _toy_detection_data()
+        config = EnsembleConfig(
+            kernel_set=(3, 5),
+            n_trials=2,
+            n_models=2,
+            filters=(4, 8, 8),
+            train=TrainConfig(epochs=2, batch_size=16, patience=0),
+            seed=0,
+        )
+        ensemble, candidates = train_ensemble(x, y, x, y, config)
+        assert len(candidates) == 4  # |kernels| * trials
+        assert len(ensemble) == 2
+        selected_losses = sorted(c.val_loss for c in candidates)[:2]
+        # the ensemble contains exactly the lowest-val-loss candidates
+        kept = sorted(
+            c.val_loss for c in candidates if c.model in ensemble.models
+        )
+        assert kept == pytest.approx(selected_losses)
+
+    def test_candidates_are_distinct_models(self):
+        x, y = _toy_detection_data(n=30)
+        config = EnsembleConfig(
+            kernel_set=(3, 3),  # ablation case: same kernel twice
+            n_trials=1,
+            n_models=2,
+            filters=(4, 4, 4),
+            train=TrainConfig(epochs=1, batch_size=16, patience=0),
+            seed=0,
+        )
+        _, candidates = train_ensemble(x, y, x, y, config)
+        w0 = candidates[0].model.unit1.block1.conv.weight.data
+        w1 = candidates[1].model.unit1.block1.conv.weight.data
+        assert not np.allclose(w0, w1)
+
+    def test_predict_proba_is_member_mean(self):
+        models = [ResNetTSC(ResNetConfig(kernel_size=3, filters=(4, 4, 4), seed=s)) for s in (0, 1)]
+        ens = ResNetEnsemble(models).eval()
+        x = np.random.default_rng(0).random((4, 16)).astype(np.float32)
+        from repro.training import predict_proba
+
+        expected = np.mean([predict_proba(m, x) for m in models], axis=0)
+        assert np.allclose(ens.predict_proba(x), expected, atol=1e-6)
+
+    def test_empty_ensemble_raises(self):
+        with pytest.raises(ValueError):
+            ResNetEnsemble([])
+
+
+class TestLocalization:
+    def _trained_camal(self, **kwargs):
+        x, y = _toy_detection_data(n=80)
+        config = EnsembleConfig(
+            kernel_set=(3,),
+            n_trials=1,
+            n_models=1,
+            filters=(4, 8, 8),
+            train=TrainConfig(epochs=4, batch_size=16, patience=0),
+            seed=0,
+        )
+        ensemble, _ = train_ensemble(x, y, x, y, config)
+        return CamAL(ensemble, **kwargs), x, y
+
+    def test_undetected_windows_all_zero(self):
+        camal, x, y = self._trained_camal()
+        out = camal.localize(x)
+        undetected = out.detected == 0
+        if undetected.any():
+            assert out.status[undetected].sum() == 0
+            assert out.cam[undetected].sum() == 0
+
+    def test_status_is_binary(self):
+        camal, x, _ = self._trained_camal()
+        status = camal.predict_status(x)
+        assert set(np.unique(status)) <= {0.0, 1.0}
+
+    def test_detection_threshold_respected(self):
+        camal, x, _ = self._trained_camal(detection_threshold=2.0)  # impossible
+        out = camal.localize(x)
+        assert out.status.sum() == 0
+
+    def test_power_gate_suppresses_low_aggregate(self):
+        camal, x, _ = self._trained_camal(power_gate_watts=500.0)
+        out = camal.localize(x)
+        # scaled input below 0.5 can never be ON
+        assert np.all(out.status[x < 0.5] == 0)
+
+    def test_no_attention_thresholds_cam(self):
+        camal, x, _ = self._trained_camal(use_attention=False)
+        out = camal.localize(x)
+        detected = out.detected == 1
+        if detected.any():
+            assert np.array_equal(
+                out.status[detected], (out.cam[detected] >= 0.5).astype(np.float32)
+            )
+
+    def test_rejects_1d_input(self):
+        camal, x, _ = self._trained_camal()
+        with pytest.raises(ValueError):
+            camal.localize(x[0])
+
+    def test_detect_returns_probabilities(self):
+        camal, x, _ = self._trained_camal()
+        proba = camal.detect(x)
+        assert proba.shape == (len(x),)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+
+class TestEnergyEstimation:
+    def test_clipping_invariant(self):
+        status = np.array([[1.0, 1.0, 0.0]])
+        aggregate = np.array([[500.0, 3000.0, 100.0]])
+        power = estimate_power(status, 2000.0, aggregate)
+        assert np.all(power <= aggregate)
+        assert power[0, 0] == 500.0  # clipped
+        assert power[0, 1] == 2000.0  # full P_a
+        assert power[0, 2] == 0.0  # OFF
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            estimate_power(np.ones((1, 3)), 100.0, np.ones((1, 4)))
+
+    def test_negative_power_raises(self):
+        with pytest.raises(ValueError):
+            estimate_power(np.ones((1, 2)), -5.0, np.ones((1, 2)))

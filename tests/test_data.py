@@ -1,0 +1,102 @@
+"""Tests for datasets, loaders, splits and class balancing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestTensorDataset:
+    def test_len_and_getitem(self):
+        ds = nn.TensorDataset(np.arange(10), np.arange(10) * 2)
+        assert len(ds) == 10
+        x, y = ds[3]
+        assert x == 3 and y == 6
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            nn.TensorDataset(np.zeros(3), np.zeros(4))
+
+    def test_empty_args_raise(self):
+        with pytest.raises(ValueError):
+            nn.TensorDataset()
+
+
+class TestSubsetAndSplit:
+    def test_subset_indexing(self):
+        ds = nn.TensorDataset(np.arange(10))
+        sub = nn.Subset(ds, [7, 2])
+        assert len(sub) == 2
+        assert sub[0][0] == 7
+
+    def test_random_split_partitions(self):
+        ds = nn.TensorDataset(np.arange(100))
+        a, b, c = nn.random_split(ds, [0.7, 0.2, 0.1], seed=0)
+        assert len(a) + len(b) + len(c) == 100
+        seen = {ds[i][0] for part in (a, b, c) for i in part.indices}
+        assert len(seen) == 100
+
+    def test_random_split_bad_fractions(self):
+        ds = nn.TensorDataset(np.arange(10))
+        with pytest.raises(ValueError):
+            nn.random_split(ds, [0.5, 0.2])
+
+    def test_random_split_deterministic(self):
+        ds = nn.TensorDataset(np.arange(50))
+        a1, _ = nn.random_split(ds, [0.5, 0.5], seed=3)
+        a2, _ = nn.random_split(ds, [0.5, 0.5], seed=3)
+        assert a1.indices == a2.indices
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        ds = nn.TensorDataset(np.zeros((10, 4)), np.zeros(10))
+        loader = nn.DataLoader(ds, batch_size=4)
+        batches = list(loader)
+        assert [len(b[0]) for b in batches] == [4, 4, 2]
+
+    def test_drop_last(self):
+        ds = nn.TensorDataset(np.zeros((10, 4)))
+        loader = nn.DataLoader(ds, batch_size=4, drop_last=True)
+        assert [len(b[0]) for b in loader] == [4, 4]
+        assert len(loader) == 2
+
+    def test_len_without_drop(self):
+        ds = nn.TensorDataset(np.zeros((10, 4)))
+        assert len(nn.DataLoader(ds, batch_size=4)) == 3
+
+    def test_shuffle_changes_order(self):
+        ds = nn.TensorDataset(np.arange(64))
+        plain = np.concatenate([b[0] for b in nn.DataLoader(ds, batch_size=64)])
+        shuffled = np.concatenate([b[0] for b in nn.DataLoader(ds, batch_size=64, shuffle=True, seed=0)])
+        assert not np.array_equal(plain, shuffled)
+        assert sorted(shuffled) == sorted(plain)
+
+    def test_invalid_batch_size(self):
+        ds = nn.TensorDataset(np.zeros(4))
+        with pytest.raises(ValueError):
+            nn.DataLoader(ds, batch_size=0)
+
+
+class TestBalanceBinary:
+    def test_balances_classes(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(100).reshape(-1, 1)
+        y = np.array([1] * 10 + [0] * 90)
+        xb, yb = nn.balance_binary(x, y, rng)
+        assert yb.sum() == 10
+        assert len(yb) == 20
+
+    def test_single_class_returned_unchanged(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(5).reshape(-1, 1)
+        y = np.ones(5)
+        xb, yb = nn.balance_binary(x, y, rng)
+        assert len(xb) == 5
+
+    def test_rows_stay_aligned(self):
+        rng = np.random.default_rng(1)
+        x = np.arange(20).reshape(-1, 1)
+        y = (x.ravel() < 5).astype(int)  # positives are exactly values 0..4
+        xb, yb = nn.balance_binary(x, y, rng)
+        assert set(xb[yb == 1].ravel()) <= {0, 1, 2, 3, 4}

@@ -1,0 +1,76 @@
+"""Tests for the adaptive (baseline-subtracted) energy estimation (§V-I)."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_power, estimate_power_adaptive
+
+
+class TestAdaptiveEstimation:
+    def test_recovers_square_appliance_on_flat_baseline(self):
+        baseline = 200.0
+        draw = 1800.0
+        aggregate = np.full((1, 20), baseline, dtype=np.float32)
+        status = np.zeros((1, 20), dtype=np.float32)
+        aggregate[0, 5:10] += draw
+        status[0, 5:10] = 1.0
+        power = estimate_power_adaptive(status, aggregate, max_power_watts=3000.0)
+        assert np.allclose(power[0, 5:10], draw, atol=1.0)
+        assert np.allclose(power[0, :5], 0.0)
+
+    def test_beats_constant_pa_when_draw_differs_from_average(self):
+        """When the true draw deviates from P_a, adaptive wins on MAE."""
+        baseline = 150.0
+        true_draw = 2600.0  # kettle drawing more than the 2000 W average
+        aggregate = np.full((1, 30), baseline, dtype=np.float32)
+        status = np.zeros((1, 30), dtype=np.float32)
+        truth = np.zeros((1, 30), dtype=np.float32)
+        aggregate[0, 10:15] += true_draw
+        status[0, 10:15] = 1.0
+        truth[0, 10:15] = true_draw
+
+        constant = estimate_power(status, 2000.0, aggregate)
+        adaptive = estimate_power_adaptive(status, aggregate, max_power_watts=6000.0)
+        err_constant = np.abs(constant - truth).mean()
+        err_adaptive = np.abs(adaptive - truth).mean()
+        assert err_adaptive < err_constant
+
+    def test_ceiling_caps_cooccurring_loads(self):
+        aggregate = np.full((1, 10), 9000.0, dtype=np.float32)  # shower running too
+        status = np.ones((1, 10), dtype=np.float32)
+        power = estimate_power_adaptive(status, aggregate, max_power_watts=2500.0)
+        assert np.all(power <= 2500.0)
+
+    def test_never_exceeds_aggregate(self):
+        rng = np.random.default_rng(0)
+        aggregate = rng.random((3, 16)).astype(np.float32) * 500.0
+        status = (rng.random((3, 16)) > 0.5).astype(np.float32)
+        power = estimate_power_adaptive(status, aggregate, max_power_watts=1e6)
+        assert np.all(power <= aggregate + 1e-4)
+
+    def test_off_is_zero(self):
+        rng = np.random.default_rng(1)
+        aggregate = rng.random((2, 8)).astype(np.float32) * 100
+        status = np.zeros((2, 8), dtype=np.float32)
+        assert np.allclose(estimate_power_adaptive(status, aggregate, 100.0), 0.0)
+
+    def test_all_on_window_uses_zero_baseline(self):
+        aggregate = np.full((1, 6), 1000.0, dtype=np.float32)
+        status = np.ones((1, 6), dtype=np.float32)
+        power = estimate_power_adaptive(status, aggregate, max_power_watts=5000.0)
+        assert np.allclose(power, 1000.0)
+
+    def test_1d_input_roundtrip(self):
+        aggregate = np.array([100.0, 2100.0, 100.0], dtype=np.float32)
+        status = np.array([0.0, 1.0, 0.0], dtype=np.float32)
+        power = estimate_power_adaptive(status, aggregate, max_power_watts=3000.0)
+        assert power.shape == (3,)
+        assert power[1] == pytest.approx(2000.0, abs=1.0)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            estimate_power_adaptive(np.ones((1, 2)), np.ones((1, 3)), 100.0)
+        with pytest.raises(ValueError):
+            estimate_power_adaptive(np.ones((1, 2)), np.ones((1, 2)), 0.0)
+        with pytest.raises(ValueError):
+            estimate_power_adaptive(np.ones((1, 2)), np.ones((1, 2)), 10.0, baseline_quantile=2.0)

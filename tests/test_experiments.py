@@ -1,0 +1,147 @@
+"""Tests for the experiment harness (presets, runner plumbing, analytics)."""
+
+import numpy as np
+import pytest
+
+import repro.experiments as ex
+from repro import simdata as sd
+
+
+class TestPresets:
+    def test_registry(self):
+        assert set(ex.PRESETS) == {"paper", "fast", "bench"}
+        assert ex.get_preset("fast").name == "fast"
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            ex.get_preset("turbo")
+
+    def test_paper_preset_faithful(self):
+        p = ex.get_preset("paper")
+        assert p.window == 510
+        assert p.kernel_set == (5, 7, 9, 15, 25)
+        assert p.n_trials == 3
+        assert p.n_models == 5
+        assert p.resnet_filters == (64, 128, 128)
+
+    def test_scaled_override(self):
+        p = ex.scaled(ex.get_preset("bench"), clf_epochs=1)
+        assert p.clf_epochs == 1
+        assert p.window == ex.get_preset("bench").window
+
+    def test_ensemble_config_roundtrip(self):
+        p = ex.get_preset("bench")
+        cfg = p.ensemble_config(seed=7)
+        assert cfg.kernel_set == p.kernel_set
+        assert cfg.train.epochs == p.clf_epochs
+        assert cfg.seed == 7
+
+    def test_table3_cases_count(self):
+        assert len(ex.TABLE3_CASES) == 11  # the paper's 11 rows
+
+
+class TestRunnerPlumbing:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return ex.build_corpus("ukdale", ex.get_preset("bench"))
+
+    def test_build_corpus_names(self):
+        preset = ex.get_preset("bench")
+        for name in ("ukdale", "refit", "edf_ev"):
+            assert ex.build_corpus(name, preset).name == name
+        with pytest.raises(KeyError):
+            ex.build_corpus("dred", preset)
+
+    def test_case_windows_splits_houses(self, corpus):
+        case = ex.case_windows(corpus, "kettle", 64, split_seed=0)
+        train_houses = set(case.train.house_id.split("+"))
+        test_houses = set(case.test.house_id.split("+"))
+        assert not train_houses & test_houses
+
+    def test_case_spec(self, corpus):
+        case = ex.case_windows(corpus, "kettle", 64)
+        assert case.spec.avg_power_watts == 2000.0
+
+    def test_evaluate_status_uses_clipping(self, corpus):
+        case = ex.case_windows(corpus, "kettle", 64)
+        ones = np.ones_like(case.test.strong)
+        result = ex.evaluate_status("always-on", case, ones, 0.0, 0)
+        # With everything predicted ON the recall is 1.
+        assert result.recall == pytest.approx(1.0)
+        assert result.method == "always-on"
+        assert result.n_labels == 0
+
+    def test_make_baseline_scales(self):
+        small = ex.make_baseline("TPNILM", "small")
+        tiny = ex.make_baseline("TPNILM", "tiny")
+        paper = ex.make_baseline("TPNILM", "paper")
+        assert tiny.num_parameters() < small.num_parameters() < paper.num_parameters()
+
+    def test_make_baseline_unknown(self):
+        with pytest.raises(KeyError):
+            ex.make_baseline("LSTM", "small")
+        with pytest.raises(KeyError):
+            ex.make_baseline("TPNILM", "huge")
+
+
+class TestComplexityTable:
+    def test_rows_cover_all_models(self):
+        result = ex.run_complexity_table()
+        models = {r.model for r in result.rows}
+        assert len(models) == 6
+        for row in result.rows:
+            assert row.relative_error < 0.10  # within 10% of Table II
+
+    def test_render_contains_values(self):
+        text = ex.run_complexity_table().render()
+        assert "TransNILM" in text and "Table II" in text
+
+
+class TestCostAnalysis:
+    def test_ordering_matches_figure9(self):
+        result = ex.run_cost_analysis(n_households=1000)
+        dollars = [c.dollars_per_household for c in result.per_household]
+        assert dollars[0] > dollars[1] > dollars[2]
+        assert result.storage_ratio == pytest.approx(6.0, rel=0.01)
+
+    def test_storage_curve_monotone(self):
+        result = ex.run_cost_analysis()
+        strong_tb = [s for _, s, _ in result.storage_curve]
+        assert strong_tb == sorted(strong_tb)
+
+    def test_render(self):
+        assert "Fig. 9" in ex.run_cost_analysis().render()
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = ex.render_table(["a", "bb"], [[1, 2.5], ["x", float("nan")]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "-" in lines[1]
+        assert "-" in lines[3].split("|")[1]  # NaN renders as dash
+
+    def test_render_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            ex.render_table(["a"], [[1, 2]])
+
+    def test_render_series(self):
+        text = ex.render_series("curve", [1, 2], [0.5, 0.25])
+        assert "(1, 0.500)" in text
+
+    def test_render_dict(self):
+        text = ex.render_dict("title", {"key": 1.0})
+        assert "title" in text and "key" in text
+
+
+class TestWhiteNoiseWorkload:
+    def test_shapes_match_paper_protocol(self):
+        x, s = ex.white_noise_households(3, series_length=17_520)
+        assert x.shape == (3, 17_520)
+        assert s.shape == (3, 17_520)
+        assert set(np.unique(s)) <= {0.0, 1.0}
+
+    def test_deterministic(self):
+        x1, _ = ex.white_noise_households(2, 100, seed=5)
+        x2, _ = ex.white_noise_households(2, 100, seed=5)
+        assert np.array_equal(x1, x2)

@@ -1,0 +1,199 @@
+"""Finite-difference gradient checks for every fused primitive.
+
+These are the correctness bedrock of the NumPy substrate: each primitive's
+hand-derived backward pass is compared against central differences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import check_gradients
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(42)
+
+
+def _t(shape, scale=1.0):
+    return Tensor(RNG.normal(size=shape).astype(np.float32) * scale, requires_grad=True)
+
+
+def _mask(shape):
+    return Tensor(RNG.normal(size=shape).astype(np.float32))
+
+
+class TestConvGradients:
+    def test_conv1d_basic(self):
+        x, w, b = _t((2, 3, 12)), _t((4, 3, 3), 0.4), _t((4,), 0.1)
+        m = _mask((2, 4, 12))
+        check_gradients(lambda: (F.conv1d(x, w, b, padding=1) * m).sum(), [x, w, b])
+
+    def test_conv1d_stride2(self):
+        x, w = _t((1, 2, 11)), _t((3, 2, 5), 0.4)
+        m = _mask((1, 3, 5))  # (11 + 2 - 5) // 2 + 1
+        check_gradients(lambda: (F.conv1d(x, w, None, stride=2, padding=1) * m).sum(), [x, w])
+
+    def test_conv1d_no_padding(self):
+        x, w = _t((2, 1, 9)), _t((2, 1, 4), 0.5)
+        m = _mask((2, 2, 6))
+        check_gradients(lambda: (F.conv1d(x, w, None) * m).sum(), [x, w])
+
+    def test_conv1d_stride3_uneven(self):
+        x, w = _t((1, 1, 13)), _t((2, 1, 3), 0.5)
+        out_len = (13 - 3) // 3 + 1
+        m = _mask((1, 2, out_len))
+        check_gradients(lambda: (F.conv1d(x, w, None, stride=3) * m).sum(), [x, w])
+
+
+class TestPoolingGradients:
+    def test_max_pool(self):
+        x = _t((2, 2, 12))
+        m = _mask((2, 2, 4))
+        check_gradients(lambda: (F.max_pool1d(x, 3) * m).sum(), [x])
+
+    def test_max_pool_with_padding(self):
+        x = _t((1, 2, 10))
+        m = _mask((1, 2, 4))
+        check_gradients(lambda: (F.max_pool1d(x, 3) * m).sum(), [x])
+
+    def test_avg_pool(self):
+        x = _t((2, 3, 8))
+        m = _mask((2, 3, 4))
+        check_gradients(lambda: (F.avg_pool1d(x, 2) * m).sum(), [x])
+
+    def test_global_avg_pool(self):
+        x = _t((2, 3, 7))
+        m = _mask((2, 3))
+        check_gradients(lambda: (F.global_avg_pool1d(x) * m).sum(), [x])
+
+    def test_upsample_nearest(self):
+        x = _t((1, 2, 5))
+        m = _mask((1, 2, 15))
+        check_gradients(lambda: (F.upsample_nearest1d(x, 3) * m).sum(), [x])
+
+    def test_upsample_to_arbitrary(self):
+        x = _t((1, 2, 5))
+        m = _mask((1, 2, 13))
+        check_gradients(lambda: (F.upsample_to1d(x, 13) * m).sum(), [x])
+
+    def test_upsample_to_shrink(self):
+        x = _t((1, 2, 10))
+        m = _mask((1, 2, 4))
+        check_gradients(lambda: (F.upsample_to1d(x, 4) * m).sum(), [x])
+
+
+class TestNormGradients:
+    def test_batch_norm_training(self):
+        x, g, b = _t((4, 3, 6)), _t((3,), 0.5), _t((3,), 0.5)
+        m = _mask((4, 3, 6))
+
+        def f():
+            return (
+                F.batch_norm(
+                    x, g, b, np.zeros(3, np.float32), np.ones(3, np.float32), training=True
+                )
+                * m
+            ).sum()
+
+        check_gradients(f, [x, g, b])
+
+    def test_batch_norm_eval(self):
+        x, g, b = _t((4, 3, 6)), _t((3,), 0.5), _t((3,), 0.5)
+        rm = RNG.normal(size=3).astype(np.float32)
+        rv = (RNG.random(3).astype(np.float32) + 0.5)
+        m = _mask((4, 3, 6))
+
+        def f():
+            return (F.batch_norm(x, g, b, rm, rv, training=False) * m).sum()
+
+        check_gradients(f, [x, g, b])
+
+    def test_batch_norm_2d_input(self):
+        x, g, b = _t((8, 5)), _t((5,), 0.5), _t((5,), 0.5)
+        m = _mask((8, 5))
+
+        def f():
+            return (
+                F.batch_norm(
+                    x, g, b, np.zeros(5, np.float32), np.ones(5, np.float32), training=True
+                )
+                * m
+            ).sum()
+
+        check_gradients(f, [x, g, b])
+
+    def test_layer_norm(self):
+        x, g, b = _t((3, 4, 6)), _t((6,), 0.5), _t((6,), 0.5)
+        m = _mask((3, 4, 6))
+        check_gradients(lambda: (F.layer_norm(x, g, b) * m).sum(), [x, g, b])
+
+
+class TestSoftmaxGradients:
+    def test_softmax(self):
+        x = _t((3, 5))
+        m = _mask((3, 5))
+        check_gradients(lambda: (F.softmax(x, axis=1) * m).sum(), [x])
+
+    def test_softmax_other_axis(self):
+        x = _t((2, 3, 4))
+        m = _mask((2, 3, 4))
+        check_gradients(lambda: (F.softmax(x, axis=1) * m).sum(), [x])
+
+    def test_log_softmax(self):
+        x = _t((3, 5))
+        m = _mask((3, 5))
+        check_gradients(lambda: (F.log_softmax(x, axis=1) * m).sum(), [x])
+
+
+class TestLossGradients:
+    def test_cross_entropy(self):
+        logits = _t((6, 3))
+        targets = RNG.integers(0, 3, size=6)
+        check_gradients(lambda: F.cross_entropy(logits, targets), [logits])
+
+    def test_bce_with_logits(self):
+        logits = _t((4, 7))
+        targets = (RNG.random((4, 7)) > 0.5).astype(np.float32)
+        check_gradients(
+            lambda: F.binary_cross_entropy_with_logits(logits, targets), [logits]
+        )
+
+    def test_bce_with_pos_weight(self):
+        logits = _t((4, 7))
+        targets = (RNG.random((4, 7)) > 0.5).astype(np.float32)
+        check_gradients(
+            lambda: F.binary_cross_entropy_with_logits(logits, targets, pos_weight=3.0),
+            [logits],
+        )
+
+    def test_mse(self):
+        pred = _t((5, 3))
+        target = RNG.normal(size=(5, 3)).astype(np.float32)
+        check_gradients(lambda: F.mse_loss(pred, target), [pred])
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize(
+        "op",
+        ["exp", "log", "sqrt", "tanh", "sigmoid", "relu", "abs"],
+    )
+    def test_unary(self, op):
+        # log/sqrt need positive inputs; shift accordingly.
+        base = RNG.random((3, 4)).astype(np.float32) + 0.5
+        if op in ("tanh", "sigmoid", "relu", "abs", "exp"):
+            base = RNG.normal(size=(3, 4)).astype(np.float32)
+            if op == "relu":
+                base += 0.1 * np.sign(base)  # keep away from the kink
+        x = Tensor(base, requires_grad=True)
+        m = _mask((3, 4))
+        check_gradients(lambda: (getattr(x, op)() * m).sum(), [x])
+
+    def test_matmul_grad(self):
+        a, b = _t((3, 4)), _t((4, 2))
+        m = _mask((3, 2))
+        check_gradients(lambda: ((a @ b) * m).sum(), [a, b])
+
+    def test_batched_matmul_grad(self):
+        a, b = _t((2, 3, 4)), _t((2, 4, 2))
+        m = _mask((2, 3, 2))
+        check_gradients(lambda: ((a @ b) * m).sum(), [a, b])

@@ -1,0 +1,121 @@
+"""Tests for the standard layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = nn.Linear(6, 4)
+        out = layer(Tensor(np.zeros((3, 6), dtype=np.float32)))
+        assert out.shape == (3, 4)
+
+    def test_applies_on_last_axis(self):
+        layer = nn.Linear(6, 4)
+        out = layer(Tensor(np.zeros((2, 5, 6), dtype=np.float32)))
+        assert out.shape == (2, 5, 4)
+
+    def test_no_bias(self):
+        layer = nn.Linear(3, 2, bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((1, 3), dtype=np.float32)))
+        assert np.allclose(out.data, 0.0)
+
+    def test_matches_manual_affine(self):
+        layer = nn.Linear(3, 2, seed=0)
+        x = np.random.default_rng(1).normal(size=(4, 3)).astype(np.float32)
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected, atol=1e-5)
+
+    def test_seeded_determinism(self):
+        a, b = nn.Linear(5, 5, seed=3), nn.Linear(5, 5, seed=3)
+        assert np.allclose(a.weight.data, b.weight.data)
+
+
+class TestConv1dLayer:
+    def test_default_same_padding(self):
+        layer = nn.Conv1d(2, 4, 7)
+        out = layer(Tensor(np.zeros((1, 2, 30), dtype=np.float32)))
+        assert out.shape == (1, 4, 30)
+
+    def test_explicit_padding_and_stride(self):
+        layer = nn.Conv1d(1, 1, 3, stride=2, padding=0)
+        out = layer(Tensor(np.zeros((1, 1, 9), dtype=np.float32)))
+        assert out.shape == (1, 1, 4)
+
+    def test_weight_shape(self):
+        layer = nn.Conv1d(3, 8, 5)
+        assert layer.weight.shape == (8, 3, 5)
+        assert layer.bias.shape == (8,)
+
+
+class TestBatchNormLayer:
+    def test_train_vs_eval_paths(self):
+        layer = nn.BatchNorm1d(2)
+        x = Tensor(np.random.default_rng(0).normal(5, 2, size=(8, 2, 4)).astype(np.float32))
+        layer.train()
+        out_train = layer(x)
+        layer.eval()
+        out_eval = layer(x)
+        assert not np.allclose(out_train.data, out_eval.data)
+
+    def test_running_stats_converge(self):
+        layer = nn.BatchNorm1d(1, momentum=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            layer(Tensor(rng.normal(3.0, 1.0, size=(64, 1, 8)).astype(np.float32)))
+        assert abs(layer.running_mean[0] - 3.0) < 0.3
+
+
+class TestActivations:
+    def test_relu_module(self):
+        assert np.allclose(nn.ReLU()(Tensor([-1.0, 1.0])).data, [0.0, 1.0])
+
+    def test_sigmoid_module(self):
+        out = nn.Sigmoid()(Tensor([0.0]))
+        assert out.data[0] == pytest.approx(0.5)
+
+    def test_tanh_module(self):
+        assert nn.Tanh()(Tensor([0.0])).data[0] == pytest.approx(0.0)
+
+    def test_gelu_reference_values(self):
+        # GELU(0) = 0; GELU(large) ~ identity; GELU(-large) ~ 0.
+        out = nn.GELU()(Tensor([0.0, 5.0, -5.0]))
+        assert out.data[0] == pytest.approx(0.0, abs=1e-6)
+        assert out.data[1] == pytest.approx(5.0, abs=1e-2)
+        assert out.data[2] == pytest.approx(0.0, abs=1e-2)
+
+
+class TestDropoutLayer:
+    def test_eval_identity(self):
+        layer = nn.Dropout(0.9, seed=0)
+        layer.eval()
+        x = Tensor(np.ones((5, 5), dtype=np.float32))
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_train_masks(self):
+        layer = nn.Dropout(0.5, seed=0)
+        x = Tensor(np.ones((1000,), dtype=np.float32))
+        out = layer(x)
+        assert (out.data == 0).any()
+
+
+class TestPoolLayers:
+    def test_max_pool_layer(self):
+        out = nn.MaxPool1d(2)(Tensor(np.arange(8, dtype=np.float32).reshape(1, 1, 8)))
+        assert np.allclose(out.data, [[[1, 3, 5, 7]]])
+
+    def test_avg_pool_layer(self):
+        out = nn.AvgPool1d(4)(Tensor(np.arange(8, dtype=np.float32).reshape(1, 1, 8)))
+        assert np.allclose(out.data, [[[1.5, 5.5]]])
+
+    def test_global_avg_pool_layer(self):
+        out = nn.GlobalAvgPool1d()(Tensor(np.ones((2, 3, 9), dtype=np.float32)))
+        assert out.shape == (2, 3)
+
+    def test_upsample_layer(self):
+        out = nn.UpsampleNearest1d(2)(Tensor(np.ones((1, 1, 4), dtype=np.float32)))
+        assert out.shape == (1, 1, 8)

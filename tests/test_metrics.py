@@ -1,0 +1,146 @@
+"""Tests for the §V-D evaluation metrics and the Fig. 9 cost model."""
+
+import numpy as np
+import pytest
+
+from repro import metrics as M
+
+
+class TestConfusionAndF1:
+    def test_perfect_prediction(self):
+        y = np.array([1, 0, 1, 1])
+        assert M.f1_score(y, y) == 1.0
+        assert M.precision_score(y, y) == 1.0
+        assert M.recall_score(y, y) == 1.0
+
+    def test_all_wrong(self):
+        y = np.array([1, 0])
+        assert M.f1_score(y, 1 - y) == 0.0
+
+    def test_known_values(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        c = M.confusion(y_true, y_pred)
+        assert (c.tp, c.fp, c.fn, c.tn) == (2, 1, 1, 1)
+        assert c.precision == pytest.approx(2 / 3)
+        assert c.recall == pytest.approx(2 / 3)
+        assert c.f1 == pytest.approx(2 / 3)
+
+    def test_no_positives_predicted(self):
+        y_true = np.array([1, 1])
+        y_pred = np.array([0, 0])
+        assert M.f1_score(y_true, y_pred) == 0.0
+        assert M.precision_score(y_true, y_pred) == 0.0
+
+    def test_accepts_2d_arrays(self):
+        y = np.ones((3, 4))
+        assert M.f1_score(y, y) == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            M.f1_score(np.ones(3), np.ones(4))
+
+
+class TestBalancedAccuracy:
+    def test_perfect(self):
+        y = np.array([1, 0, 1])
+        assert M.balanced_accuracy(y, y) == 1.0
+
+    def test_always_positive_predictor(self):
+        y_true = np.array([1, 1, 0, 0])
+        y_pred = np.ones(4)
+        assert M.balanced_accuracy(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_imbalance_insensitive(self):
+        # A predictor that nails the minority class scores the same
+        # regardless of class frequency.
+        y_true = np.array([1] + [0] * 99)
+        y_pred = y_true.copy()
+        assert M.balanced_accuracy(y_true, y_pred) == 1.0
+
+    def test_accuracy_plain(self):
+        assert M.accuracy(np.array([1, 0]), np.array([1, 1])) == 0.5
+
+    def test_detection_f1(self):
+        y = np.array([1, 0, 1])
+        assert M.detection_f1(y, y) == 1.0
+
+
+class TestEnergyMetrics:
+    def test_mae_rmse_known(self):
+        t = np.array([0.0, 0.0])
+        p = np.array([3.0, 4.0])
+        assert M.mae(t, p) == pytest.approx(3.5)
+        assert M.rmse(t, p) == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        t, p = rng.random(50), rng.random(50)
+        assert M.rmse(t, p) >= M.mae(t, p) - 1e-12
+
+    def test_matching_ratio_perfect(self):
+        x = np.array([100.0, 0.0, 50.0])
+        assert M.matching_ratio(x, x) == 1.0
+
+    def test_matching_ratio_disjoint(self):
+        t = np.array([100.0, 0.0])
+        p = np.array([0.0, 100.0])
+        assert M.matching_ratio(t, p) == 0.0
+
+    def test_matching_ratio_half(self):
+        t = np.array([100.0])
+        p = np.array([50.0])
+        assert M.matching_ratio(t, p) == pytest.approx(0.5)
+
+    def test_matching_ratio_symmetric(self):
+        rng = np.random.default_rng(1)
+        t, p = rng.random(20) * 100, rng.random(20) * 100
+        assert M.matching_ratio(t, p) == pytest.approx(M.matching_ratio(p, t))
+
+    def test_matching_ratio_both_zero(self):
+        z = np.zeros(5)
+        assert M.matching_ratio(z, z) == 1.0
+
+    def test_matching_ratio_clips_negative(self):
+        t = np.array([-5.0, 10.0])
+        p = np.array([0.0, 10.0])
+        assert M.matching_ratio(t, p) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            M.mae(np.ones(2), np.ones(3))
+
+
+class TestCostModel:
+    def test_strong_is_most_expensive(self):
+        strong = M.strong_label_cost(1000)
+        weak = M.weak_label_cost(1000)
+        possession = M.possession_label_cost(1000)
+        assert strong.dollars_per_household > weak.dollars_per_household > possession.dollars_per_household
+        assert strong.gco2_per_household > weak.gco2_per_household >= possession.gco2_per_household
+
+    def test_possession_is_one_questionnaire(self):
+        c = M.possession_label_cost(10)
+        assert c.dollars_per_household == 10.0
+        assert c.gco2_per_household == pytest.approx(4.62)
+
+    def test_storage_ratio_is_paper_6x(self):
+        assert M.storage_ratio_strong_vs_possession(5) == pytest.approx(6.0, rel=0.01)
+
+    def test_storage_scales_with_households(self):
+        a = M.strong_label_cost(1)
+        b = M.strong_label_cost(10)
+        assert b.storage_bytes == pytest.approx(10 * a.storage_bytes)
+
+    def test_one_million_households_terabytes(self):
+        # Paper: ~15 TB/year order of magnitude for 1M households at 1-min.
+        c = M.strong_label_cost(1_000_000, n_appliances=5)
+        assert 10.0 < c.storage_terabytes < 40.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            M.strong_label_cost(0)
+        with pytest.raises(ValueError):
+            M.weak_label_cost(5, n_appliances=0)
+        with pytest.raises(ValueError):
+            M.possession_label_cost(5, years=0)

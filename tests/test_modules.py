@@ -1,0 +1,147 @@
+"""Tests for Module containers, state dicts and serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def small_net(seed=0):
+    return nn.Sequential(
+        nn.Linear(4, 8, seed=seed),
+        nn.ReLU(),
+        nn.BatchNorm1d(8),
+        nn.Linear(8, 2, seed=seed + 1),
+    )
+
+
+class TestModuleTraversal:
+    def test_parameters_collected_recursively(self):
+        net = small_net()
+        # 2 Linear layers (w+b each) + BN (gamma+beta) = 6 tensors.
+        assert len(net.parameters()) == 6
+
+    def test_named_parameters_unique(self):
+        names = [name for name, _ in small_net().named_parameters()]
+        assert len(names) == len(set(names))
+
+    def test_named_buffers_include_running_stats(self):
+        names = [name for name, _ in small_net().named_buffers()]
+        assert any("running_mean" in n for n in names)
+        assert any("running_var" in n for n in names)
+
+    def test_modules_iterator(self):
+        net = small_net()
+        kinds = [type(m).__name__ for m in net.modules()]
+        assert "Sequential" in kinds and "Linear" in kinds and "BatchNorm1d" in kinds
+
+    def test_num_parameters(self):
+        net = nn.Linear(10, 5)
+        assert net.num_parameters() == 10 * 5 + 5
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        net = small_net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        net = small_net()
+        out = net(Tensor(np.ones((3, 4), dtype=np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1, net2 = small_net(seed=0), small_net(seed=99)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 4)).astype(np.float32))
+        net1.eval(), net2.eval()
+        assert not np.allclose(net1(x).data, net2(x).data)
+        net2.load_state_dict(net1.state_dict())
+        assert np.allclose(net1(x).data, net2(x).data)
+
+    def test_state_dict_is_a_copy(self):
+        net = small_net()
+        state = net.state_dict()
+        first = next(iter(state))
+        state[first][...] = 1234.0
+        assert not np.allclose(dict(net.named_parameters()).get(first, Tensor(0)).data, 1234.0)
+
+    def test_missing_key_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError, match="unexpected"):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        key = next(k for k in state if k.endswith("weight"))
+        state[key] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            net.load_state_dict(state)
+
+    def test_buffers_roundtrip(self):
+        net1 = small_net()
+        net1.train()
+        x = Tensor(np.random.default_rng(1).normal(size=(16, 4)).astype(np.float32))
+        net1(x)  # updates BN running stats
+        net2 = small_net(seed=5)
+        net2.load_state_dict(net1.state_dict())
+        bn1 = [b for _, b in net1.named_buffers()]
+        bn2 = [b for _, b in net2.named_buffers()]
+        for a, b in zip(bn1, bn2):
+            assert np.allclose(a, b)
+
+
+class TestSerialization:
+    def test_save_load_file(self, tmp_path):
+        net1, net2 = small_net(0), small_net(7)
+        path = os.path.join(tmp_path, "model.npz")
+        nn.save_state(net1, path)
+        nn.load_state(net2, path)
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 4)).astype(np.float32))
+        net1.eval(), net2.eval()
+        assert np.allclose(net1(x).data, net2(x).data)
+
+    def test_load_appends_npz_suffix(self, tmp_path):
+        net = small_net()
+        path = os.path.join(tmp_path, "weights.npz")
+        nn.save_state(net, path)
+        nn.load_state(net, os.path.join(tmp_path, "weights"))  # no suffix
+
+
+class TestContainers:
+    def test_sequential_indexing(self):
+        net = small_net()
+        assert isinstance(net[0], nn.Linear)
+        assert len(net) == 4
+
+    def test_module_list(self):
+        ml = nn.ModuleList([nn.Linear(2, 2, seed=i) for i in range(3)])
+        assert len(ml) == 3
+        assert isinstance(ml[1], nn.Linear)
+        # parameters from all items are registered
+        assert len([p for p in ml.parameters()]) == 6
+
+    def test_module_list_append(self):
+        ml = nn.ModuleList()
+        ml.append(nn.Linear(2, 2))
+        assert len(ml) == 1

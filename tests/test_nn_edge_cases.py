@@ -1,0 +1,134 @@
+"""Edge-case tests for the autograd substrate: degenerate shapes, dtype
+handling, and numerical corner cases beyond the main unit files."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestDegenerateShapes:
+    def test_batch_of_one(self):
+        net = nn.Sequential(nn.Conv1d(1, 2, 3), nn.BatchNorm1d(2), nn.ReLU())
+        out = net(Tensor(np.ones((1, 1, 8), dtype=np.float32)))
+        assert out.shape == (1, 2, 8)
+
+    def test_single_timestep_conv(self):
+        out = F.conv1d(
+            Tensor(np.ones((1, 1, 1), dtype=np.float32)),
+            Tensor(np.ones((1, 1, 1), dtype=np.float32)),
+            None,
+        )
+        assert out.shape == (1, 1, 1)
+
+    def test_kernel_equals_length(self):
+        x = Tensor(np.arange(4, dtype=np.float32).reshape(1, 1, 4))
+        w = Tensor(np.ones((1, 1, 4), dtype=np.float32))
+        out = F.conv1d(x, w, None)
+        assert out.shape == (1, 1, 1)
+        assert out.data[0, 0, 0] == pytest.approx(6.0)
+
+    def test_gru_single_step_sequence(self):
+        gru = nn.GRU(2, 3, seed=0)
+        out = gru(Tensor(np.zeros((2, 1, 2), dtype=np.float32)))
+        assert out.shape == (2, 1, 3)
+
+    def test_empty_batch_linear(self):
+        out = nn.Linear(4, 2)(Tensor(np.zeros((0, 4), dtype=np.float32)))
+        assert out.shape == (0, 2)
+
+    def test_max_pool_full_length(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(1, 1, 6))
+        out = F.max_pool1d(x, 6)
+        assert out.shape == (1, 1, 1)
+        assert out.data[0, 0, 0] == 5.0
+
+
+class TestDtypeCoercion:
+    def test_int_input_becomes_float32(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float32
+
+    def test_float64_ops_stay_float32(self):
+        a = Tensor(np.ones(3, dtype=np.float64))
+        b = a * np.float64(2.0)
+        assert b.dtype == np.float32
+
+    def test_grad_dtype_float32(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        assert x.grad.dtype == np.float32
+
+
+class TestNumericalCorners:
+    def test_softmax_single_class(self):
+        out = F.softmax(Tensor(np.zeros((3, 1), dtype=np.float32)), axis=1)
+        assert np.allclose(out.data, 1.0)
+
+    def test_log_softmax_never_positive(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 7)).astype(np.float32))
+        assert np.all(F.log_softmax(x, axis=1).data <= 1e-6)
+
+    def test_bce_all_ones_targets(self):
+        logits = Tensor(np.zeros((2, 4), dtype=np.float32))
+        loss = F.binary_cross_entropy_with_logits(logits, np.ones((2, 4), dtype=np.float32))
+        assert loss.item() == pytest.approx(np.log(2), abs=1e-5)
+
+    def test_layer_norm_constant_input(self):
+        g = Tensor(np.ones(4, np.float32), requires_grad=True)
+        b = Tensor(np.zeros(4, np.float32), requires_grad=True)
+        x = Tensor(np.full((2, 4), 7.0, dtype=np.float32))
+        out = F.layer_norm(x, g, b)
+        assert np.allclose(out.data, 0.0, atol=1e-2)
+
+    def test_clip_grad_zero_norm(self):
+        p = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        opt = nn.SGD([p], lr=0.1)
+        p.grad = np.zeros(1, dtype=np.float32)
+        assert opt.clip_grad_norm(1.0) == pytest.approx(0.0)
+
+    def test_batchnorm_batch_of_one_training(self):
+        """Variance of a single (N*L)=3 sample set is still well-defined."""
+        layer = nn.BatchNorm1d(2)
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(1, 2, 3)).astype(np.float32)))
+        assert np.isfinite(out.data).all()
+
+
+class TestGraphSemantics:
+    def test_no_grad_inside_training_block(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0
+        with nn.no_grad():
+            z = y * 10.0  # constant w.r.t. graph
+        w = y * 2.0
+        w.backward()
+        assert x.grad[0] == pytest.approx(6.0)
+        assert not z.requires_grad
+
+    def test_mixed_grad_parents(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])  # no grad
+        (a * b).backward()
+        assert a.grad[0] == pytest.approx(2.0)
+        assert b.grad is None
+
+    def test_long_chain_no_recursion_error(self):
+        """Backward uses an iterative topo sort; 5000-node chains are fine."""
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 0.001
+        y.backward()
+        assert x.grad[0] == pytest.approx(1.0)
+
+    def test_stack_then_index_grad(self):
+        from repro.nn.tensor import stack
+
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        s = stack([a, b], axis=0)
+        s[0].sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert b.grad is None or np.allclose(b.grad, 0.0)

@@ -1,0 +1,140 @@
+"""Tests for optimizers and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def quadratic_param(start=5.0):
+    return Tensor(np.array([start], dtype=np.float32), requires_grad=True)
+
+
+def step_quadratic(param, optimizer, steps=100):
+    for _ in range(steps):
+        loss = (param * param).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return abs(param.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert step_quadratic(p, nn.SGD([p], lr=0.1)) < 1e-3
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        r_plain = step_quadratic(p1, nn.SGD([p1], lr=0.01), steps=50)
+        r_mom = step_quadratic(p2, nn.SGD([p2], lr=0.01, momentum=0.9), steps=50)
+        assert r_mom < r_plain
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        opt = nn.SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=0.1)
+        opt.step()  # no grad yet: must not crash or move
+        assert p.data[0] == pytest.approx(5.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert step_quadratic(p, nn.Adam([p], lr=0.3), steps=200) < 1e-2
+
+    def test_first_step_size_is_lr(self):
+        # Adam's bias correction makes the very first step ~= lr * sign(grad).
+        p = quadratic_param(1.0)
+        opt = nn.Adam([p], lr=0.5)
+        (p * p).sum().backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(0.5, abs=1e-3)
+
+    def test_adamw_decay_decoupled(self):
+        p = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        opt = nn.AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        # Pure decay: p -= lr * wd * p = 2 - 0.1*0.5*2 = 1.9
+        assert p.data[0] == pytest.approx(1.9, abs=1e-4)
+
+
+class TestOptimizerBase:
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=0.1)
+        (p * p).sum().backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_clip_grad_norm(self):
+        p = Tensor(np.array([1.0, 1.0], dtype=np.float32), requires_grad=True)
+        opt = nn.SGD([p], lr=0.1)
+        p.grad = np.array([3.0, 4.0], dtype=np.float32)  # norm 5
+        norm = opt.clip_grad_norm(1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, abs=1e-5)
+
+    def test_clip_noop_when_under(self):
+        p = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        opt = nn.SGD([p], lr=0.1)
+        p.grad = np.array([0.5], dtype=np.float32)
+        opt.clip_grad_norm(1.0)
+        assert p.grad[0] == pytest.approx(0.5)
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_annealing_reaches_min(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=10, eta_min=0.05)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.05, abs=1e-6)
+
+    def test_cosine_monotone_decreasing(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+
+class TestEndToEndTraining:
+    def test_linear_regression_recovers_weights(self):
+        rng = np.random.default_rng(0)
+        true_w = np.array([[2.0], [-3.0]], dtype=np.float32)
+        x = rng.normal(size=(128, 2)).astype(np.float32)
+        y = x @ true_w
+        model = nn.Linear(2, 1, seed=0)
+        opt = nn.Adam(model.parameters(), lr=0.05)
+        for _ in range(300):
+            loss = nn.functional.mse_loss(model(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.allclose(model.weight.data.ravel(), true_w.ravel(), atol=0.05)

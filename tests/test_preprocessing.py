@@ -1,0 +1,242 @@
+"""Tests for the §V-B preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import simdata as sd
+
+
+class TestResample:
+    def test_averages_blocks(self):
+        x = np.array([1.0, 3.0, 5.0, 7.0])
+        assert np.allclose(sd.resample_average(x, 2), [2.0, 6.0])
+
+    def test_factor_one_is_copy(self):
+        x = np.array([1.0, 2.0])
+        out = sd.resample_average(x, 1)
+        assert np.array_equal(out, x)
+        out[0] = 99
+        assert x[0] == 1.0
+
+    def test_drops_trailing_partial_block(self):
+        x = np.arange(7.0)
+        assert len(sd.resample_average(x, 3)) == 2
+
+    def test_partial_nan_block_averages_valid(self):
+        x = np.array([2.0, np.nan, 4.0, 6.0])
+        out = sd.resample_average(x, 2)
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == pytest.approx(5.0)
+
+    def test_all_nan_block_stays_nan(self):
+        x = np.array([np.nan, np.nan, 1.0, 1.0])
+        out = sd.resample_average(x, 2)
+        assert np.isnan(out[0]) and out[1] == 1.0
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            sd.resample_average(np.zeros(4), 0)
+
+
+class TestForwardFill:
+    def test_fills_short_gaps(self):
+        x = np.array([1.0, np.nan, np.nan, 4.0])
+        out = sd.forward_fill(x, max_gap=2)
+        assert np.allclose(out, [1.0, 1.0, 1.0, 4.0])
+
+    def test_leaves_long_gaps(self):
+        x = np.array([1.0, np.nan, np.nan, np.nan, 5.0])
+        out = sd.forward_fill(x, max_gap=2)
+        assert np.isnan(out[1:4]).all()
+
+    def test_leading_gap_never_filled(self):
+        x = np.array([np.nan, 2.0, 3.0])
+        out = sd.forward_fill(x, max_gap=5)
+        assert np.isnan(out[0])
+
+    def test_max_gap_zero_noop(self):
+        x = np.array([1.0, np.nan, 3.0])
+        out = sd.forward_fill(x, max_gap=0)
+        assert np.isnan(out[1])
+
+    def test_idempotent(self):
+        x = np.array([1.0, np.nan, np.nan, np.nan, np.nan, 2.0, np.nan, 3.0])
+        once = sd.forward_fill(x, max_gap=2)
+        twice = sd.forward_fill(once, max_gap=2)
+        assert np.array_equal(once, twice, equal_nan=True)
+
+    def test_does_not_mutate_input(self):
+        x = np.array([1.0, np.nan])
+        sd.forward_fill(x, max_gap=1)
+        assert np.isnan(x[1])
+
+    def test_negative_gap_raises(self):
+        with pytest.raises(ValueError):
+            sd.forward_fill(np.zeros(3), -1)
+
+
+class TestStatusAndScaling:
+    def test_on_status_threshold(self):
+        power = np.array([0.0, 299.0, 300.0, 2000.0])
+        assert np.allclose(sd.on_status(power, 300.0), [0, 0, 1, 1])
+
+    def test_on_status_nan_is_off(self):
+        assert sd.on_status(np.array([np.nan]), 10.0)[0] == 0.0
+
+    def test_scale_divides_by_1000(self):
+        assert sd.scale_aggregate(np.array([2500.0]))[0] == pytest.approx(2.5)
+        assert sd.SCALE_DIVISOR == 1000.0
+
+
+class TestSliceWindows:
+    def test_window_count_and_shape(self):
+        agg = np.arange(100.0)
+        power = np.zeros(100)
+        ws = sd.slice_windows(agg, power, 10.0, window=30)
+        assert len(ws) == 3
+        assert ws.inputs.shape == (3, 30)
+        assert ws.window == 30
+
+    def test_nan_windows_discarded(self):
+        agg = np.ones(90)
+        agg[35] = np.nan  # poisons the second window of three
+        ws = sd.slice_windows(agg, None, 10.0, window=30)
+        assert len(ws) == 2
+
+    def test_weak_label_is_any_on(self):
+        agg = np.full(60, 100.0)
+        power = np.zeros(60)
+        power[40] = 500.0
+        ws = sd.slice_windows(agg, power, 300.0, window=30)
+        assert np.allclose(ws.weak, [0.0, 1.0])
+
+    def test_strong_labels_align(self):
+        agg = np.full(30, 600.0)
+        power = np.zeros(30)
+        power[5:10] = 400.0
+        ws = sd.slice_windows(agg, power, 300.0, window=30)
+        assert ws.strong[0, 5:10].sum() == 5
+        assert ws.strong.sum() == 5
+
+    def test_no_power_channel_gives_zero_labels(self):
+        ws = sd.slice_windows(np.ones(40), None, 10.0, window=20)
+        assert ws.strong.sum() == 0
+        assert ws.weak.sum() == 0
+
+    def test_label_counts(self):
+        ws = sd.slice_windows(np.ones(100), None, 10.0, window=25)
+        assert ws.n_weak_labels == 4
+        assert ws.n_strong_labels == 100
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            sd.slice_windows(np.ones(10), None, 1.0, window=0)
+
+    def test_inputs_scaled_aggregate_unscaled_kept(self):
+        agg = np.full(20, 2000.0)
+        ws = sd.slice_windows(agg, None, 1.0, window=10)
+        assert ws.inputs.max() == pytest.approx(2.0)
+        assert ws.aggregate_watts.max() == pytest.approx(2000.0)
+
+
+class TestConcatWindowSets:
+    def _ws(self, n, w=10, house="a"):
+        return sd.slice_windows(np.ones(n * w), None, 1.0, window=w, house_id=house)
+
+    def test_concat(self):
+        merged = sd.concat_window_sets([self._ws(2, house="a"), self._ws(3, house="b")])
+        assert len(merged) == 5
+        assert "a" in merged.house_id and "b" in merged.house_id
+
+    def test_empty_sets_skipped(self):
+        empty = sd.slice_windows(np.ones(5), None, 1.0, window=10)  # 0 windows
+        merged = sd.concat_window_sets([empty, self._ws(2)])
+        assert len(merged) == 2
+
+    def test_all_empty_raises(self):
+        empty = sd.slice_windows(np.ones(5), None, 1.0, window=10)
+        with pytest.raises(ValueError):
+            sd.concat_window_sets([empty])
+
+    def test_mixed_window_lengths_raise(self):
+        with pytest.raises(ValueError):
+            sd.concat_window_sets([self._ws(2, w=10), self._ws(2, w=20)])
+
+
+class TestLabels:
+    def test_budgets(self):
+        ws = sd.slice_windows(np.ones(100), None, 1.0, window=25)
+        assert sd.strong_budget(ws).n_labels == 100
+        assert sd.weak_budget(ws).n_labels == 4
+        assert sd.possession_budget(7).n_labels == 7
+
+    def test_unknown_scheme_raises(self):
+        budget = sd.LabelBudget(1, 1, "bogus")
+        with pytest.raises(ValueError):
+            budget.n_labels
+
+    def test_subset_windows_stratified(self):
+        rng = np.random.default_rng(0)
+        agg = np.ones(1000)
+        power = np.zeros(1000)
+        power[::100] = 10.0  # every 100th sample ON -> every window positive?
+        ws = sd.slice_windows(agg, power, 5.0, window=10)
+        # make a mixed-label set manually
+        ws.weak[: len(ws) // 2] = 0.0
+        sub = sd.subset_windows(ws, 10, rng)
+        assert len(sub) == 10
+        assert 0 < sub.weak.sum() < 10  # both classes present
+
+    def test_subset_not_larger_than_source(self):
+        rng = np.random.default_rng(0)
+        ws = sd.slice_windows(np.ones(40), None, 1.0, window=10)
+        assert len(sd.subset_windows(ws, 100, rng)) == 4
+
+    def test_replicate_possession_label(self):
+        ws = sd.slice_windows(np.ones(40), None, 1.0, window=10)
+        owned = sd.replicate_possession_label(ws, True)
+        assert owned.weak.min() == 1.0
+        not_owned = sd.replicate_possession_label(ws, False)
+        assert not_owned.weak.max() == 0.0
+
+    def test_label_sweep_sizes_monotone(self):
+        sizes = sd.label_sweep_sizes(1000, points=5)
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 1000
+
+    def test_label_sweep_small_total(self):
+        assert sd.label_sweep_sizes(5) == [5]
+
+
+class TestSplits:
+    def test_ukdale_fixed_train(self):
+        c = sd.ukdale_like(days=1.0, seed=0)
+        split = sd.split_houses(c, seed=0)
+        assert set(split.train) == {"ukdale_h1", "ukdale_h3", "ukdale_h4"}
+        assert {*split.val, *split.test} == {"ukdale_h2", "ukdale_h5"}
+
+    def test_refit_counts(self):
+        c = sd.refit_like(days=1.0, seed=0)
+        split = sd.split_houses(c, seed=1)
+        assert len(split.test) == 2 and len(split.val) == 2
+        assert len(split.train) == 16
+
+    def test_no_overlap_enforced(self):
+        with pytest.raises(ValueError):
+            sd.HouseSplit(train=("a",), val=("a",), test=("b",))
+
+    def test_possession_split_fractions(self):
+        c = sd.edf_weak_like(days=2.0, n_houses=20, seed=0)
+        split = sd.possession_split(c, seed=0)
+        assert len(split.train) == 14
+        assert len(split.val) == 2
+        assert len(split.test) == 4
+
+    def test_possession_split_bad_fractions(self):
+        c = sd.edf_weak_like(days=2.0, n_houses=10, seed=0)
+        with pytest.raises(ValueError):
+            sd.possession_split(c, fractions=(0.5, 0.2, 0.2))
+
+    def test_split_deterministic(self):
+        c = sd.refit_like(days=1.0, seed=0)
+        assert sd.split_houses(c, seed=5) == sd.split_houses(c, seed=5)

@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import metrics as M
+from repro import simdata as sd
+from repro.core import estimate_power, normalize_cam
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+finite32 = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False, width=32
+)
+power32 = st.floats(min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False, width=32)
+
+
+@st.composite
+def binary_pair(draw, max_len=200):
+    n = draw(st.integers(min_value=1, max_value=max_len))
+    a = draw(arrays(np.int8, n, elements=st.integers(0, 1)))
+    b = draw(arrays(np.int8, n, elements=st.integers(0, 1)))
+    return a, b
+
+
+class TestMetricProperties:
+    @given(binary_pair())
+    def test_f1_bounds(self, pair):
+        a, b = pair
+        assert 0.0 <= M.f1_score(a, b) <= 1.0
+
+    @given(binary_pair())
+    def test_f1_symmetric_in_tp(self, pair):
+        """F1 is symmetric: swapping prediction and truth preserves it."""
+        a, b = pair
+        assert M.f1_score(a, b) == M.f1_score(b, a)
+
+    @given(binary_pair())
+    def test_balanced_accuracy_bounds(self, pair):
+        a, b = pair
+        assert 0.0 <= M.balanced_accuracy(a, b) <= 1.0
+
+    @given(binary_pair())
+    def test_perfect_prediction_maximal(self, pair):
+        a, _ = pair
+        assert M.f1_score(a, a) == (1.0 if a.any() else 0.0)
+        assert M.accuracy(a, a) == 1.0
+
+    @given(arrays(np.float32, st.integers(1, 100), elements=power32),
+           arrays(np.float32, st.integers(1, 100), elements=power32))
+    def test_matching_ratio_bounds_and_symmetry(self, a, b):
+        if len(a) != len(b):
+            return
+        mr = M.matching_ratio(a, b)
+        assert 0.0 <= mr <= 1.0 + 1e-9
+        assert abs(mr - M.matching_ratio(b, a)) < 1e-9
+
+    @given(arrays(np.float32, st.integers(1, 100), elements=power32))
+    def test_matching_ratio_identity(self, a):
+        assert M.matching_ratio(a, a) == 1.0
+
+    @given(arrays(np.float32, st.integers(1, 64), elements=finite32),
+           arrays(np.float32, st.integers(1, 64), elements=finite32))
+    def test_rmse_dominates_mae(self, a, b):
+        if len(a) != len(b):
+            return
+        assert M.rmse(a, b) >= M.mae(a, b) - 1e-5
+
+
+class TestEnergyProperties:
+    @given(
+        arrays(np.int8, st.integers(1, 64), elements=st.integers(0, 1)),
+        st.floats(min_value=0, max_value=1e4, width=32),
+    )
+    def test_estimate_never_exceeds_aggregate(self, status, avg_power):
+        rng = np.random.default_rng(0)
+        aggregate = rng.random(len(status)).astype(np.float32) * 3000.0
+        power = estimate_power(status.astype(np.float32), avg_power, aggregate)
+        assert np.all(power <= aggregate + 1e-5)
+        assert np.all(power >= 0.0)
+
+    @given(arrays(np.int8, st.integers(1, 64), elements=st.integers(0, 1)))
+    def test_off_timestamps_estimate_zero(self, status):
+        aggregate = np.full(len(status), 9e4, dtype=np.float32)
+        power = estimate_power(status.astype(np.float32), 1000.0, aggregate)
+        assert np.all(power[status == 0] == 0.0)
+
+
+class TestCAMProperties:
+    @given(arrays(np.float32, (3, 32), elements=finite32))
+    def test_normalize_cam_max_at_most_one(self, cam):
+        out = normalize_cam(cam)
+        assert np.all(out <= 1.0 + 1e-5)
+        assert np.isfinite(out).all()
+
+    @given(arrays(np.float32, (2, 16), elements=st.floats(min_value=-100, max_value=-0.0009765625, width=32, allow_nan=False)))
+    def test_normalize_cam_nonpositive_zeroed(self, cam):
+        assert np.allclose(normalize_cam(cam), 0.0)
+
+
+class TestPreprocessingProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.integers(2, 120),
+            elements=st.one_of(power32, st.just(np.nan)),
+        ),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=50)
+    def test_forward_fill_idempotent(self, series, max_gap):
+        once = sd.forward_fill(series, max_gap)
+        twice = sd.forward_fill(once, max_gap)
+        assert np.array_equal(once, twice, equal_nan=True)
+
+    @given(
+        arrays(np.float64, st.integers(2, 120), elements=power32),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=50)
+    def test_resample_preserves_mean(self, series, factor):
+        out = sd.resample_average(series, factor)
+        n = (len(series) // factor) * factor
+        if n == 0:
+            assert len(out) == 0
+            return
+        assert np.nanmean(out) == np.approx(series[:n].mean(), rel=1e-4) if False else True
+        assert abs(out.mean() - series[:n].mean()) < 1e-3 * max(1.0, abs(series[:n].mean()))
+
+    @given(
+        arrays(np.float32, st.integers(10, 200), elements=power32),
+        st.integers(2, 20),
+    )
+    @settings(max_examples=50)
+    def test_slice_windows_shapes_consistent(self, aggregate, window):
+        ws = sd.slice_windows(aggregate.astype(np.float64), None, 10.0, window=window)
+        assert ws.inputs.shape == ws.strong.shape == ws.power_watts.shape
+        assert len(ws.weak) == len(ws.inputs)
+        assert ws.inputs.shape[1] == window
+
+    @given(arrays(np.float32, st.integers(4, 100), elements=power32))
+    @settings(max_examples=50)
+    def test_weak_label_consistent_with_strong(self, power):
+        aggregate = power + 50.0
+        ws = sd.slice_windows(aggregate.astype(np.float64), power.astype(np.float64), 25.0, window=4)
+        for i in range(len(ws)):
+            assert ws.weak[i] == float(ws.strong[i].max() > 0)
+
+
+class TestSoftmaxProperties:
+    @given(arrays(np.float32, (4, 8), elements=finite32))
+    def test_softmax_simplex(self, x):
+        out = F.softmax(Tensor(x), axis=1).data
+        assert np.all(out >= 0)
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-4)
+
+    @given(arrays(np.float32, (2, 6), elements=st.floats(-50, 50, width=32, allow_nan=False)))
+    def test_sigmoid_bounds(self, x):
+        out = Tensor(x).sigmoid().data
+        assert np.all((out >= 0) & (out <= 1))

@@ -1,0 +1,99 @@
+"""Tests for GRU cells and sequence layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestGRUCell:
+    def test_output_shape(self):
+        cell = nn.GRUCell(4, 6, seed=0)
+        h = cell(Tensor(np.zeros((3, 4), dtype=np.float32)), Tensor(np.zeros((3, 6), dtype=np.float32)))
+        assert h.shape == (3, 6)
+
+    def test_matches_manual_step(self):
+        """The cell output must match a hand-computed GRU step."""
+        cell = nn.GRUCell(2, 3, seed=1)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 2)).astype(np.float32)
+        h = rng.normal(size=(1, 3)).astype(np.float32)
+
+        w_ih, w_hh = cell.weight_ih.data, cell.weight_hh.data
+        b_ih, b_hh = cell.bias_ih.data, cell.bias_hh.data
+        gx = x @ w_ih.T + b_ih
+        gh = h @ w_hh.T + b_hh
+
+        def sig(v):
+            return 1 / (1 + np.exp(-v))
+
+        r = sig(gx[:, 0:3] + gh[:, 0:3])
+        z = sig(gx[:, 3:6] + gh[:, 3:6])
+        n = np.tanh(gx[:, 6:9] + r * gh[:, 6:9])
+        expected = (1 - z) * n + z * h
+
+        out = cell(Tensor(x), Tensor(h))
+        assert np.allclose(out.data, expected, atol=1e-5)
+
+    def test_zero_update_gate_keeps_candidate(self):
+        # With all weights zero, z = 0.5 and n = 0 so h' = 0.5 * h.
+        cell = nn.GRUCell(2, 2, seed=0)
+        for p in (cell.weight_ih, cell.weight_hh):
+            p.data[...] = 0.0
+        h = Tensor(np.ones((1, 2), dtype=np.float32))
+        out = cell(Tensor(np.ones((1, 2), dtype=np.float32)), h)
+        assert np.allclose(out.data, 0.5, atol=1e-6)
+
+
+class TestGRULayer:
+    def test_unidirectional_shape(self):
+        gru = nn.GRU(3, 5, seed=0)
+        out = gru(Tensor(np.zeros((2, 7, 3), dtype=np.float32)))
+        assert out.shape == (2, 7, 5)
+
+    def test_bidirectional_shape(self):
+        gru = nn.GRU(3, 5, bidirectional=True, seed=0)
+        out = gru(Tensor(np.zeros((2, 7, 3), dtype=np.float32)))
+        assert out.shape == (2, 7, 10)
+
+    def test_rejects_2d_input(self):
+        gru = nn.GRU(3, 5)
+        with pytest.raises(ValueError):
+            gru(Tensor(np.zeros((2, 3), dtype=np.float32)))
+
+    def test_causal_in_forward_direction(self):
+        """Changing a later timestep must not affect earlier outputs."""
+        gru = nn.GRU(1, 4, seed=0)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 6, 1)).astype(np.float32)
+        base = gru(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 5, 0] += 10.0
+        changed = gru(Tensor(x2)).data
+        assert np.allclose(base[0, :5], changed[0, :5], atol=1e-6)
+        assert not np.allclose(base[0, 5], changed[0, 5])
+
+    def test_backward_direction_sees_future(self):
+        gru = nn.GRU(1, 4, bidirectional=True, seed=0)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 6, 1)).astype(np.float32)
+        base = gru(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 5, 0] += 10.0
+        changed = gru(Tensor(x2)).data
+        # The backward half (last 4 features) of t=0 must change.
+        assert not np.allclose(base[0, 0, 4:], changed[0, 0, 4:])
+
+    def test_gradients_flow_to_input_and_weights(self):
+        gru = nn.GRU(2, 3, bidirectional=True, seed=0)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 5, 2)).astype(np.float32), requires_grad=True)
+        gru(x).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+        assert gru.cell_fw.weight_ih.grad is not None
+        assert gru.cell_bw.weight_hh.grad is not None
+
+    def test_deterministic_given_seed(self):
+        a, b = nn.GRU(2, 3, seed=4), nn.GRU(2, 3, seed=4)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 4, 2)).astype(np.float32))
+        assert np.allclose(a(x).data, b(x).data)

@@ -1,0 +1,93 @@
+"""Tests for result analytics that need no training (sweep/correlation
+post-processing, rendering helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.correlation import CorrelationResult
+from repro.experiments.label_sweep import LabelSweepResult, SweepPoint
+from repro.experiments.reporting import format_cell, render_series, render_table
+
+
+class TestLabelFactorAnalytics:
+    def _sweep(self, camal_points, strong_points):
+        result = LabelSweepResult(corpus="x", appliance="y")
+        result.curves["CamAL"] = [SweepPoint(n, f) for n, f in camal_points]
+        result.curves["TPNILM"] = [SweepPoint(n, f) for n, f in strong_points]
+        return result
+
+    def test_factor_computed_at_crossing(self):
+        sweep = self._sweep(
+            camal_points=[(10, 0.5), (100, 0.8)],
+            strong_points=[(1000, 0.3), (10000, 0.85)],
+        )
+        factors = sweep.label_factor_to_match_camal()
+        # CamAL best F1 = 0.8 at 100 labels; TPNILM reaches >= 0.8 at 10000.
+        assert factors["TPNILM"] == pytest.approx(100.0)
+
+    def test_factor_inf_when_never_reached(self):
+        sweep = self._sweep(
+            camal_points=[(10, 0.9)], strong_points=[(1000, 0.5), (10000, 0.7)]
+        )
+        assert sweep.label_factor_to_match_camal()["TPNILM"] == float("inf")
+
+    def test_empty_camal_curve(self):
+        result = LabelSweepResult(corpus="x", appliance="y")
+        result.curves["TPNILM"] = [SweepPoint(10, 0.5)]
+        assert result.label_factor_to_match_camal() == {}
+
+    def test_render_contains_all_methods(self):
+        sweep = self._sweep([(10, 0.5)], [(100, 0.4)])
+        text = sweep.render()
+        assert "CamAL" in text and "TPNILM" in text
+
+
+class TestCorrelationAnalytics:
+    def test_pearson_of_perfect_line(self):
+        points = [("c", "a", x / 10, x / 10) for x in range(1, 8)]
+        result = CorrelationResult(points=points, cubic_coefficients=None)
+        assert result.pearson() == pytest.approx(1.0)
+
+    def test_pearson_degenerate_is_zero(self):
+        points = [("c", "a", 0.5, 0.1), ("c", "b", 0.5, 0.9)]
+        result = CorrelationResult(points=points, cubic_coefficients=None)
+        assert result.pearson() == 0.0
+
+    def test_predict_requires_fit(self):
+        result = CorrelationResult(points=[], cubic_coefficients=None)
+        with pytest.raises(RuntimeError):
+            result.predict(0.9)
+
+    def test_predict_evaluates_polynomial(self):
+        coefs = np.array([0.0, 0.0, 2.0, 1.0])  # 2x + 1
+        result = CorrelationResult(points=[], cubic_coefficients=coefs)
+        assert result.predict(3.0) == pytest.approx(7.0)
+
+    def test_render_mentions_pearson(self):
+        points = [("c", "a", 0.9, 0.8), ("c", "b", 0.6, 0.3)]
+        text = CorrelationResult(points=points, cubic_coefficients=None).render()
+        assert "pearson" in text
+
+
+class TestFormatting:
+    def test_format_cell_nan_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_format_cell_large_float_no_decimals(self):
+        assert format_cell(12345.678) == "12346"
+
+    def test_format_cell_precision(self):
+        assert format_cell(0.56789, precision=2) == "0.57"
+
+    def test_format_cell_passthrough_strings_ints(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+    def test_render_table_title_optional(self):
+        with_title = render_table(["h"], [[1]], title="T")
+        without = render_table(["h"], [[1]])
+        assert with_title.startswith("T\n")
+        assert not without.startswith("T")
+
+    def test_render_series_pairs(self):
+        assert render_series("s", [], []) == "s: "

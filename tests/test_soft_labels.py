@@ -1,0 +1,81 @@
+"""Tests for soft-label generation and mixing (RQ5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CamAL,
+    EnsembleConfig,
+    generate_soft_labels,
+    mix_strong_and_soft,
+    train_ensemble,
+)
+from repro.training import TrainConfig
+
+
+@pytest.fixture(scope="module")
+def trained_camal():
+    rng = np.random.default_rng(0)
+    n, w = 60, 32
+    x = rng.random((n, w)).astype(np.float32) * 0.2
+    y = (rng.random(n) > 0.5).astype(np.float32)
+    for i in np.flatnonzero(y == 1):
+        start = rng.integers(0, w - 4)
+        x[i, start : start + 3] += 2.0
+    config = EnsembleConfig(
+        kernel_set=(3,),
+        n_trials=1,
+        n_models=1,
+        filters=(4, 8, 8),
+        train=TrainConfig(epochs=4, batch_size=16, patience=0),
+        seed=0,
+    )
+    ensemble, _ = train_ensemble(x, y, x, y, config)
+    return CamAL(ensemble), x
+
+
+class TestGeneration:
+    def test_labels_match_localization(self, trained_camal):
+        camal, x = trained_camal
+        soft = generate_soft_labels(camal, x)
+        assert len(soft) == len(x)
+        expected = camal.localize(x).status
+        assert np.array_equal(soft.soft_status, expected)
+
+    def test_confidence_filter_drops_uncertain(self, trained_camal):
+        camal, x = trained_camal
+        all_windows = generate_soft_labels(camal, x, min_confidence=0.0)
+        confident = generate_soft_labels(camal, x, min_confidence=0.2)
+        assert len(confident) <= len(all_windows)
+        if len(confident):
+            proba = confident.detection_proba
+            assert np.all((proba >= 0.8) | (proba <= 0.2))
+
+
+class TestMixing:
+    def test_concatenates(self, trained_camal):
+        camal, x = trained_camal
+        soft = generate_soft_labels(camal, x[:10])
+        xm, sm = mix_strong_and_soft(x[10:20], np.zeros((10, 32), np.float32), soft)
+        assert len(xm) == 20
+        assert sm.shape == (20, 32)
+
+    def test_empty_strong_side(self, trained_camal):
+        camal, x = trained_camal
+        soft = generate_soft_labels(camal, x[:5])
+        xm, sm = mix_strong_and_soft(
+            np.zeros((0, 32), np.float32), np.zeros((0, 32), np.float32), soft
+        )
+        assert len(xm) == 5
+
+    def test_empty_soft_side(self, trained_camal):
+        camal, x = trained_camal
+        soft = generate_soft_labels(camal, x[:0])
+        xm, sm = mix_strong_and_soft(x[:3], np.zeros((3, 32), np.float32), soft)
+        assert len(xm) == 3
+
+    def test_length_mismatch_raises(self, trained_camal):
+        camal, x = trained_camal
+        soft = generate_soft_labels(camal, x[:5])
+        with pytest.raises(ValueError):
+            mix_strong_and_soft(np.zeros((2, 16), np.float32), np.zeros((2, 16), np.float32), soft)

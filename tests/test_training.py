@@ -1,0 +1,109 @@
+"""Tests for the shared training loops (classifier / seq2seq / MIL)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import CRNN, CRNNConfig, TPNILM, TPNILMConfig
+from repro.core import ResNetConfig, ResNetTSC
+from repro.training import (
+    TrainConfig,
+    evaluate_classifier_loss,
+    evaluate_seq2seq_loss,
+    predict_proba,
+    predict_status_seq2seq,
+    train_classifier,
+    train_seq2seq,
+    train_weak_mil,
+)
+
+
+def _spike_windows(n=80, w=32, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, w)).astype(np.float32) * 0.2
+    strong = np.zeros((n, w), dtype=np.float32)
+    y = (rng.random(n) > 0.5).astype(np.float32)
+    for i in np.flatnonzero(y == 1):
+        start = rng.integers(0, w - 5)
+        x[i, start : start + 4] += 2.0
+        strong[i, start : start + 4] = 1.0
+    return x, strong, y
+
+
+class TestClassifierLoop:
+    def test_loss_decreases_and_learns(self):
+        x, _, y = _spike_windows()
+        model = ResNetTSC(ResNetConfig(kernel_size=3, filters=(8, 16, 16), seed=0))
+        cfg = TrainConfig(epochs=10, batch_size=16, patience=0, lr=3e-3, seed=0)
+        result = train_classifier(model, x, y, x, y, cfg)
+        assert result.epochs_run == 10
+        assert result.val_losses[-1] < result.val_losses[0]
+        model.eval()
+        proba = predict_proba(model, x)
+        acc = ((proba > 0.5) == (y == 1)).mean()
+        assert acc > 0.8
+
+    def test_early_stopping_restores_best(self):
+        x, _, y = _spike_windows(n=40)
+        model = ResNetTSC(ResNetConfig(kernel_size=3, filters=(4, 4, 4), seed=1))
+        cfg = TrainConfig(epochs=20, batch_size=16, patience=2, lr=5e-2, seed=0)
+        result = train_classifier(model, x, y, x, y, cfg)
+        model.eval()
+        final = evaluate_classifier_loss(model, x, y)
+        assert final == pytest.approx(result.best_val_loss, rel=0.2)
+
+    def test_history_lengths_match(self):
+        x, _, y = _spike_windows(n=30)
+        model = ResNetTSC(ResNetConfig(kernel_size=3, filters=(4, 4, 4), seed=2))
+        result = train_classifier(model, x, y, x, y, TrainConfig(epochs=3, patience=0))
+        assert len(result.train_losses) == len(result.val_losses) == len(result.epoch_times)
+        assert result.wall_time_seconds > 0
+
+    def test_empty_val_set_inf_loss(self):
+        model = ResNetTSC(ResNetConfig(kernel_size=3, filters=(4, 4, 4)))
+        loss = evaluate_classifier_loss(model, np.zeros((0, 16)), np.zeros(0))
+        assert loss == float("inf")
+
+
+class TestSeq2SeqLoop:
+    def test_learns_spike_localization(self):
+        x, strong, _ = _spike_windows(n=100)
+        model = TPNILM(TPNILMConfig(channels=(8, 16, 16), seed=0))
+        cfg = TrainConfig(epochs=15, batch_size=16, patience=0, lr=5e-3, seed=0)
+        result = train_seq2seq(model, x, strong, x, strong, cfg)
+        assert result.val_losses[-1] < result.val_losses[0]
+        model.eval()
+        status = predict_status_seq2seq(model, x)
+        from repro.metrics import f1_score
+
+        assert f1_score(strong, status) > 0.5
+
+    def test_predict_status_binary_and_shaped(self):
+        model = TPNILM(TPNILMConfig(channels=(4, 8, 8), seed=1))
+        model.eval()
+        status = predict_status_seq2seq(model, np.zeros((3, 32), dtype=np.float32))
+        assert status.shape == (3, 32)
+        assert set(np.unique(status)) <= {0.0, 1.0}
+
+    def test_seq2seq_eval_loss(self):
+        model = TPNILM(TPNILMConfig(channels=(4, 8, 8), seed=2))
+        x = np.zeros((4, 32), dtype=np.float32)
+        s = np.zeros((4, 32), dtype=np.float32)
+        loss = evaluate_seq2seq_loss(model, x, s)
+        assert np.isfinite(loss)
+
+
+class TestWeakMILLoop:
+    def test_weak_training_improves_detection(self):
+        x, _, y = _spike_windows(n=100)
+        model = CRNN(CRNNConfig(conv_channels=(4, 8, 8), hidden_size=8, seed=0))
+        cfg = TrainConfig(epochs=5, batch_size=16, patience=0, lr=3e-3, seed=0)
+        result = train_weak_mil(model, x, y, x, y, cfg)
+        assert result.val_losses[-1] < result.val_losses[0]
+
+    def test_weak_loop_uses_only_window_labels(self):
+        """The MIL loop must run without any strong labels at all."""
+        x, _, y = _spike_windows(n=30)
+        model = CRNN(CRNNConfig(conv_channels=(4, 4, 4), hidden_size=4, seed=1))
+        result = train_weak_mil(model, x, y, x, y, TrainConfig(epochs=1, patience=0))
+        assert result.epochs_run == 1
