@@ -9,6 +9,7 @@ Package layout:
 * :mod:`repro.nn` — from-scratch NumPy deep-learning substrate;
 * :mod:`repro.simdata` — synthetic smart-meter corpora (Table I datasets);
 * :mod:`repro.core` — CamAL (ResNet ensemble + CAM localization);
+* :mod:`repro.serving` — batched long-series multi-appliance inference;
 * :mod:`repro.baselines` — NILM comparison methods (§V-C);
 * :mod:`repro.metrics` — evaluation measures (§V-D) and the Fig. 9 costs;
 * :mod:`repro.experiments` — per-table/figure runners;
@@ -26,6 +27,15 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import baselines, core, metrics, nn, simdata, training
+from . import baselines, core, metrics, nn, serving, simdata, training
 
-__all__ = ["nn", "simdata", "core", "baselines", "metrics", "training", "__version__"]
+__all__ = [
+    "nn",
+    "simdata",
+    "core",
+    "serving",
+    "baselines",
+    "metrics",
+    "training",
+    "__version__",
+]

@@ -4,10 +4,13 @@ Usage::
 
     python -m repro table3 --preset bench
     python -m repro fig8 --preset fast
+    python -m repro report --preset fast        # serving-engine demo
     python -m repro all --preset bench          # everything, in order
 
-Each subcommand prints the same rows/series the paper reports; see
-EXPERIMENTS.md for the paper-vs-measured comparison.
+Each experiment subcommand prints the same rows/series the paper reports
+(see EXPERIMENTS.md for the paper-vs-measured comparison); ``report``
+trains per-appliance pipelines and serves an unseen household through the
+:class:`repro.serving.InferenceEngine`.
 """
 
 from __future__ import annotations
@@ -15,6 +18,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Callable, Dict, List, Optional
+
+import numpy as np
 
 from . import experiments as ex
 
@@ -115,7 +120,49 @@ def _fig10(preset: ex.Preset, seed: int) -> str:
     ).render()
 
 
+def _report(preset: ex.Preset, seed: int) -> str:
+    """DeviceScope-style household report served by the InferenceEngine."""
+    from . import simdata as sd
+    from .core import report_from_status
+    from .serving import EngineConfig, InferenceEngine
+
+    corpus = ex.build_corpus("ukdale", preset, seed)
+    split = sd.split_houses(corpus, seed=seed)
+    house = corpus.house(split.test[0])
+
+    engine = InferenceEngine(
+        EngineConfig(
+            window=preset.window,
+            stride=max(1, preset.window // 2),
+            cache_size=4096,
+        )
+    )
+    for appliance in ("kettle", "dishwasher"):
+        case = ex.case_windows(corpus, appliance, preset.window, split_seed=seed)
+        _, camal = ex.run_camal(case, preset, seed=seed)
+        engine.register(appliance, camal)
+
+    aggregate = sd.forward_fill(house.aggregate, corpus.max_ffill_samples)
+    aggregate = np.nan_to_num(aggregate, nan=0.0)
+    inference = engine.run(aggregate)
+
+    plan = inference.plan
+    parts = [
+        f"Household {house.house_id}: {inference.n_samples} samples served as "
+        f"{plan.n_windows} windows (window={plan.window}, stride={plan.stride})"
+    ]
+    for appliance, result in inference:
+        report = report_from_status(
+            appliance, result.status, aggregate, house.dt_seconds,
+            min_activation_samples=2, merge_gap_samples=2,
+        )
+        parts.append(report.render())
+        parts.append(f"  windows detected   : {result.detection_rate:.0%}")
+    return "\n".join(parts)
+
+
 COMMANDS: Dict[str, Callable[[ex.Preset, int], str]] = {
+    "report": _report,
     "table2": _table2,
     "table3": _table3,
     "table4": _table4,
@@ -138,7 +185,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(COMMANDS) + ["all"],
-        help="which table/figure to regenerate",
+        help="which table/figure to regenerate (or 'report' for the "
+        "serving-engine household demo)",
     )
     parser.add_argument(
         "--preset",

@@ -8,22 +8,24 @@
 * :mod:`repro.core.soft_labels` — soft-label augmentation (RQ5, §V-I).
 """
 
-from .cam import compute_cam, ensemble_cam, normalize_cam
+from .cam import cam_from_features, compute_cam, ensemble_cam, normalize_cam
 from .energy import estimate_power, estimate_power_adaptive
 from .ensemble import (
     EnsembleConfig,
+    FusedForwardOutput,
     ResNetEnsemble,
     TrainedCandidate,
     train_ensemble,
 )
-from .localization import CamAL, LocalizationOutput
-from .persistence import load_camal, save_camal
+from .localization import CamAL, LocalizationOutput, localize_double_forward
+from .persistence import load_camal, load_pipelines, save_camal, save_pipelines
 from .report import (
     Activation,
     ApplianceReport,
     analyze_series,
     household_report,
     merge_close_segments,
+    report_from_status,
     segments_from_status,
 )
 from .resnet import (
@@ -44,22 +46,28 @@ __all__ = [
     "DEFAULT_KERNEL_SET",
     "DEFAULT_FILTERS",
     "compute_cam",
+    "cam_from_features",
     "normalize_cam",
     "ensemble_cam",
     "EnsembleConfig",
+    "FusedForwardOutput",
     "ResNetEnsemble",
     "TrainedCandidate",
     "train_ensemble",
     "CamAL",
     "LocalizationOutput",
+    "localize_double_forward",
     "estimate_power",
     "estimate_power_adaptive",
     "save_camal",
     "load_camal",
+    "save_pipelines",
+    "load_pipelines",
     "Activation",
     "ApplianceReport",
     "analyze_series",
     "household_report",
+    "report_from_status",
     "segments_from_status",
     "merge_close_segments",
     "SoftLabelSet",

@@ -18,6 +18,17 @@ from ..nn.tensor import Tensor
 from .resnet import ResNetTSC
 
 
+def cam_from_features(feats: np.ndarray, class_weights: np.ndarray) -> np.ndarray:
+    """Raw CAM from precomputed feature maps ``(N, C, L)`` and head weights.
+
+    This is the shared kernel behind :func:`compute_cam` and the fused
+    single-forward path (:meth:`repro.core.ensemble.ResNetEnsemble.forward_fused`):
+    once the last conv feature maps exist, the CAM is just a contraction
+    with the classification head's weights for the target class.
+    """
+    return np.tensordot(class_weights, feats, axes=([0], [1])).astype(np.float32)
+
+
 def compute_cam(model: ResNetTSC, x: np.ndarray, class_index: int = 1) -> np.ndarray:
     """Raw CAM of ``model`` for ``class_index`` over inputs ``(N, L)``.
 
@@ -29,8 +40,7 @@ def compute_cam(model: ResNetTSC, x: np.ndarray, class_index: int = 1) -> np.nda
         raise ValueError(f"expected (N, L) windows, got shape {x.shape}")
     with nn.no_grad():
         feats = model.features(Tensor(x[:, None, :])).data  # (N, C, L)
-    weights = model.head.weight.data[class_index]  # (C,)
-    return np.tensordot(weights, feats, axes=([0], [1])).astype(np.float32)
+    return cam_from_features(feats, model.head.weight.data[class_index])
 
 
 def normalize_cam(cam: np.ndarray, eps: float = 1e-8) -> np.ndarray:

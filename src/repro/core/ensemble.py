@@ -13,7 +13,11 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
 from ..training import TrainConfig, evaluate_classifier_loss, predict_proba, train_classifier
+from .cam import cam_from_features, normalize_cam
 from .resnet import DEFAULT_FILTERS, DEFAULT_KERNEL_SET, ResNetConfig, ResNetTSC
 
 
@@ -41,6 +45,14 @@ class TrainedCandidate:
     wall_time_seconds: float
 
 
+@dataclass
+class FusedForwardOutput:
+    """Detection probabilities and ensemble CAM from one pass per member."""
+
+    proba: np.ndarray  # (N,) ensemble detection probability P_ens
+    cam: np.ndarray  # (N, L) mean of per-member normalized class CAMs
+
+
 class ResNetEnsemble:
     """Container for the selected models; implements steps 1-2 of CamAL."""
 
@@ -61,9 +73,45 @@ class ResNetEnsemble:
         probs = np.stack([predict_proba(m, x, batch_size) for m in self.models])
         return probs.mean(axis=0)
 
-    def predict_detection(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    def predict_detection(
+        self, x: np.ndarray, threshold: float = 0.5, batch_size: int = 256
+    ) -> np.ndarray:
         """Binary appliance-detection decision per window (Problem 1)."""
-        return (self.predict_proba(x) > threshold).astype(np.float32)
+        return self.predict_proba(x, batch_size) > threshold
+
+    def forward_fused(
+        self, x: np.ndarray, batch_size: int = 256, class_index: int = 1
+    ) -> FusedForwardOutput:
+        """Detection probability *and* ensemble CAM in one forward per member.
+
+        Equivalent to ``predict_proba`` followed by
+        :func:`repro.core.cam.ensemble_cam`, but the conv stack of each
+        member runs only once per window: the logits come from GAP + head
+        on the same feature maps that yield the CAM, so the serving hot
+        path pays a single forward instead of two (paper Table II's
+        inference-cost story).
+        """
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 2:
+            raise ValueError(f"expected (N, L) windows, got shape {x.shape}")
+        n, length = x.shape
+        proba = np.zeros(n, dtype=np.float32)
+        cam = np.zeros((n, length), dtype=np.float32)
+        inv_members = 1.0 / len(self.models)
+        with nn.no_grad():
+            for start in range(0, n, batch_size):
+                batch = Tensor(x[start : start + batch_size][:, None, :])
+                for model in self.models:
+                    logits, feats = model.forward_with_features(batch)
+                    member_proba = F.softmax(logits, axis=1).data[:, 1]
+                    member_cam = normalize_cam(
+                        cam_from_features(
+                            feats.data, model.head.weight.data[class_index]
+                        )
+                    )
+                    proba[start : start + len(member_proba)] += member_proba * inv_members
+                    cam[start : start + len(member_cam)] += member_cam * inv_members
+        return FusedForwardOutput(proba=proba, cam=cam)
 
     def num_parameters(self) -> int:
         return sum(m.num_parameters() for m in self.models)

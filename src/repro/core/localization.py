@@ -42,10 +42,15 @@ class LocalizationOutput:
     """Everything CamAL produces for a batch of windows."""
 
     detection_proba: np.ndarray  # (N,) ensemble probability P_ens
-    detected: np.ndarray  # (N,) binary detection decision
+    detected: np.ndarray  # (N,) boolean detection decision
     cam: np.ndarray  # (N, L) averaged normalized CAM (zero when undetected)
     soft_status: np.ndarray  # (N, L) sigmoid attention output in [0, 1]
     status: np.ndarray  # (N, L) binary ŝ(t)
+
+    @property
+    def detected_float(self) -> np.ndarray:
+        """Float view of ``detected`` for numeric post-processing."""
+        return self.detected.astype(np.float32)
 
 
 class CamAL:
@@ -82,38 +87,36 @@ class CamAL:
 
     # -- Problem 2 --------------------------------------------------------
     def localize(self, x: np.ndarray, batch_size: int = 256) -> LocalizationOutput:
-        """Run the full localization pipeline on windows ``(N, L)``."""
+        """Run the full localization pipeline on windows ``(N, L)``.
+
+        Detection probability, CAM, soft status and binary status all come
+        from exactly **one** forward pass per ensemble member
+        (:meth:`ResNetEnsemble.forward_fused`): the CAM is a contraction of
+        the same feature maps that produce the logits, so detected windows
+        no longer pay a second trip through the conv stack.
+        """
         x = np.asarray(x, dtype=np.float32)
         if x.ndim != 2:
             raise ValueError(f"expected (N, L) windows, got shape {x.shape}")
-        n, length = x.shape
-        proba = self.ensemble.predict_proba(x, batch_size)
+        fused = self.ensemble.forward_fused(x, batch_size)
+        proba = fused.proba
         detected = proba > self.detection_threshold
 
-        cam = np.zeros((n, length), dtype=np.float32)
-        soft = np.zeros((n, length), dtype=np.float32)
-        status = np.zeros((n, length), dtype=np.float32)
-        idx = np.flatnonzero(detected)
-        for start in range(0, len(idx), batch_size):
-            chunk = idx[start : start + batch_size]
-            cam_chunk = ensemble_cam(self.ensemble.models, x[chunk])
-            cam[chunk] = cam_chunk
-            if self.use_attention:
-                soft_chunk = _sigmoid(cam_chunk * x[chunk])
-            else:
-                # Ablation: threshold the raw averaged CAM directly.
-                soft_chunk = cam_chunk
-            soft[chunk] = soft_chunk
-            status_chunk = (soft_chunk >= 0.5).astype(np.float32)
-            if self.power_gate_watts is not None:
-                # x is the /1000-scaled aggregate; compare in the same unit.
-                gate = x[chunk] >= self.power_gate_watts / SCALE_DIVISOR
-                status_chunk *= gate.astype(np.float32)
-            status[chunk] = status_chunk
+        mask = detected[:, None]
+        cam = np.where(mask, fused.cam, 0.0).astype(np.float32)
+        if self.use_attention:
+            soft = np.where(mask, _sigmoid(cam * x), 0.0).astype(np.float32)
+        else:
+            # Ablation: threshold the raw averaged CAM directly.
+            soft = cam
+        status = ((soft >= 0.5) & mask).astype(np.float32)
+        if self.power_gate_watts is not None:
+            # x is the /1000-scaled aggregate; compare in the same unit.
+            status *= (x >= self.power_gate_watts / SCALE_DIVISOR).astype(np.float32)
 
         return LocalizationOutput(
             detection_proba=proba,
-            detected=detected.astype(np.float32),
+            detected=detected,
             cam=cam,
             soft_status=soft,
             status=status,
@@ -122,3 +125,50 @@ class CamAL:
     def predict_status(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Binary per-timestamp status ``ŝ(t)``, shape ``(N, L)``."""
         return self.localize(x, batch_size).status
+
+
+def localize_double_forward(
+    camal: CamAL, x: np.ndarray, batch_size: int = 256
+) -> LocalizationOutput:
+    """Reference implementation: the pre-fusion two-pass localization.
+
+    Runs detection (one full forward per member) and then recomputes the
+    conv features of detected windows through :func:`ensemble_cam` (a
+    second full pass).  Kept as the ground truth for the fused path's
+    equivalence tests and as the baseline of
+    ``benchmarks/bench_serving_throughput.py``; production code should call
+    :meth:`CamAL.localize`.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim != 2:
+        raise ValueError(f"expected (N, L) windows, got shape {x.shape}")
+    n, length = x.shape
+    proba = camal.ensemble.predict_proba(x, batch_size)
+    detected = proba > camal.detection_threshold
+
+    cam = np.zeros((n, length), dtype=np.float32)
+    soft = np.zeros((n, length), dtype=np.float32)
+    status = np.zeros((n, length), dtype=np.float32)
+    idx = np.flatnonzero(detected)
+    for start in range(0, len(idx), batch_size):
+        chunk = idx[start : start + batch_size]
+        cam_chunk = ensemble_cam(camal.ensemble.models, x[chunk])
+        cam[chunk] = cam_chunk
+        if camal.use_attention:
+            soft_chunk = _sigmoid(cam_chunk * x[chunk])
+        else:
+            soft_chunk = cam_chunk
+        soft[chunk] = soft_chunk
+        status_chunk = (soft_chunk >= 0.5).astype(np.float32)
+        if camal.power_gate_watts is not None:
+            gate = x[chunk] >= camal.power_gate_watts / SCALE_DIVISOR
+            status_chunk *= gate.astype(np.float32)
+        status[chunk] = status_chunk
+
+    return LocalizationOutput(
+        detection_proba=proba,
+        detected=detected,
+        cam=cam,
+        soft_status=soft,
+        status=status,
+    )

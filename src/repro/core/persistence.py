@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Optional
+from typing import Dict, Optional
 
 from ..nn.serialization import load_state, save_state
 from .ensemble import ResNetEnsemble
@@ -87,3 +87,28 @@ def load_camal(directory: str) -> CamAL:
         use_attention=bool(manifest["use_attention"]),
         power_gate_watts=None if gate is None else float(gate),
     )
+
+
+def save_pipelines(pipelines: Dict[str, CamAL], root: str) -> None:
+    """Persist a fleet of per-appliance pipelines under ``root/<appliance>/``."""
+    for appliance, camal in pipelines.items():
+        save_camal(camal, os.path.join(root, appliance))
+
+
+def load_pipelines(root: str) -> Dict[str, CamAL]:
+    """Load every ``save_camal`` directory under ``root`` keyed by its name.
+
+    This is the deployment layout consumed by
+    :meth:`repro.serving.InferenceEngine.load`: one subdirectory per
+    appliance, each holding a ``manifest.json`` plus member archives.
+    Non-pipeline entries (files, directories without a manifest) are
+    skipped.
+    """
+    if not os.path.isdir(root):
+        raise FileNotFoundError(f"no pipeline directory at {root!r}")
+    pipelines: Dict[str, CamAL] = {}
+    for name in sorted(os.listdir(root)):
+        directory = os.path.join(root, name)
+        if os.path.isfile(os.path.join(directory, MANIFEST_NAME)):
+            pipelines[name] = load_camal(directory)
+    return pipelines

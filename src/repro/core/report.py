@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..simdata.appliances import get_spec
-from ..simdata.preprocessing import SCALE_DIVISOR
 from .energy import estimate_power
 from .localization import CamAL
 
@@ -109,38 +108,30 @@ def merge_close_segments(
     return [(a, b) for a, b in merged]
 
 
-def analyze_series(
-    camal: CamAL,
-    aggregate_watts: np.ndarray,
+def report_from_status(
     appliance: str,
+    status: np.ndarray,
+    aggregate_watts: np.ndarray,
     dt_seconds: float,
-    window: int,
     min_activation_samples: int = 1,
     merge_gap_samples: int = 0,
     start_hour: float = 0.0,
 ) -> ApplianceReport:
-    """Run CamAL over a full household series and summarize usage.
+    """Summarize a per-timestamp binary status into an :class:`ApplianceReport`.
 
-    Args:
-        camal: trained pipeline for ``appliance``.
-        aggregate_watts: the raw 1-D aggregate series (NaN-free).
-        dt_seconds: sampling period of the series.
-        window: slicing window length (trailing partial window is dropped).
-        min_activation_samples: discard shorter detected runs.
-        merge_gap_samples: merge runs separated by at most this many samples.
-        start_hour: hour-of-day of the first sample (for the histogram).
+    The status and the aggregate must be aligned 1-D series of the same
+    length; this is the pure reporting half of :func:`analyze_series`,
+    reused by the serving engine's callers.
     """
-    aggregate_watts = np.asarray(aggregate_watts, dtype=np.float32)
-    if aggregate_watts.ndim != 1:
-        raise ValueError("analyze_series expects a 1-D aggregate series")
-    if np.isnan(aggregate_watts).any():
-        raise ValueError("aggregate contains NaNs; forward-fill it first")
+    status = np.asarray(status, dtype=np.float32).ravel()
+    aggregate_watts = np.asarray(aggregate_watts, dtype=np.float32).ravel()
+    if status.shape != aggregate_watts.shape:
+        raise ValueError(
+            f"status {status.shape} and aggregate {aggregate_watts.shape} differ"
+        )
     spec = get_spec(appliance)
-
-    n = (len(aggregate_watts) // window) * window
-    windows = aggregate_watts[:n].reshape(-1, window)
-    status = camal.predict_status(windows / SCALE_DIVISOR).reshape(-1)
-    power = estimate_power(status, spec.avg_power_watts, windows.reshape(-1))
+    n = len(status)
+    power = estimate_power(status, spec.avg_power_watts, aggregate_watts)
 
     segments = segments_from_status(status)
     if merge_gap_samples > 0:
@@ -159,17 +150,79 @@ def analyze_series(
     return report
 
 
+def analyze_series(
+    camal: CamAL,
+    aggregate_watts: np.ndarray,
+    appliance: str,
+    dt_seconds: float,
+    window: int,
+    min_activation_samples: int = 1,
+    merge_gap_samples: int = 0,
+    start_hour: float = 0.0,
+    stride: Optional[int] = None,
+) -> ApplianceReport:
+    """Run CamAL over a full household series and summarize usage.
+
+    The series is windowed by a :class:`repro.serving.InferenceEngine`:
+    the trailing partial window is edge-padded and scored (not dropped),
+    so the report covers every input timestamp, and ``stride < window``
+    enables overlap-stitched status without boundary artifacts.
+
+    Args:
+        camal: trained pipeline for ``appliance``.
+        aggregate_watts: the raw 1-D aggregate series (NaN-free).
+        dt_seconds: sampling period of the series.
+        window: slicing window length.
+        min_activation_samples: discard shorter detected runs.
+        merge_gap_samples: merge runs separated by at most this many samples.
+        start_hour: hour-of-day of the first sample (for the histogram).
+        stride: hop between windows (default ``window``, non-overlapping).
+    """
+    reports = household_report(
+        {appliance: camal},
+        aggregate_watts,
+        dt_seconds,
+        window,
+        min_activation_samples=min_activation_samples,
+        merge_gap_samples=merge_gap_samples,
+        start_hour=start_hour,
+        stride=stride,
+    )
+    return reports[appliance]
+
+
 def household_report(
     pipelines: Dict[str, CamAL],
     aggregate_watts: np.ndarray,
     dt_seconds: float,
     window: int,
-    **kwargs,
+    min_activation_samples: int = 1,
+    merge_gap_samples: int = 0,
+    start_hour: float = 0.0,
+    stride: Optional[int] = None,
 ) -> Dict[str, ApplianceReport]:
-    """Analyze one household with several per-appliance pipelines."""
+    """Analyze one household with several per-appliance pipelines.
+
+    The aggregate is scaled and windowed **once** and every pipeline runs
+    over the shared window batch (see :mod:`repro.serving.engine`), instead
+    of re-windowing the series per appliance.
+    """
+    # Local import: repro.serving sits on top of repro.core.
+    from ..serving.engine import EngineConfig, InferenceEngine
+
+    engine = InferenceEngine(EngineConfig(window=window, stride=stride))
+    for appliance, camal in pipelines.items():
+        engine.register(appliance, camal)
+    inference = engine.run(aggregate_watts)
     return {
-        appliance: analyze_series(
-            camal, aggregate_watts, appliance, dt_seconds, window, **kwargs
+        appliance: report_from_status(
+            appliance,
+            inference.status(appliance),
+            aggregate_watts,
+            dt_seconds,
+            min_activation_samples=min_activation_samples,
+            merge_gap_samples=merge_gap_samples,
+            start_hour=start_hour,
         )
-        for appliance, camal in pipelines.items()
+        for appliance in pipelines
     }

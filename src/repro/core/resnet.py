@@ -101,12 +101,17 @@ class ResNetTSC(nn.Module):
 
     def forward(self, x: Tensor) -> Tensor:
         """Class logits ``(N, n_classes)`` from input ``(N, 1, L)``."""
-        feats = self.features(x)
-        pooled = nn.functional.global_avg_pool1d(feats)
-        return self.head(pooled)
+        logits, _ = self.forward_with_features(x)
+        return logits
 
     def forward_with_features(self, x: Tensor) -> Tuple[Tensor, Tensor]:
-        """Return ``(logits, feature_maps)`` in one pass (used for CAM)."""
+        """Return ``(logits, feature_maps)`` in one pass.
+
+        This is the fused entry point of the serving hot path: the feature
+        maps feed the CAM (Definition II.1) while the logits feed the
+        detection probability, so localization never has to run the conv
+        stack twice per window.
+        """
         feats = self.features(x)
         pooled = nn.functional.global_avg_pool1d(feats)
         return self.head(pooled), feats

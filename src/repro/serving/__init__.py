@@ -1,0 +1,44 @@
+"""``repro.serving`` — batched, long-series, multi-appliance inference.
+
+The training-side packages (:mod:`repro.core`, :mod:`repro.experiments`)
+operate on pre-cut windows.  Serving a household means the opposite
+direction: one long aggregate series, many appliances, and a latency
+budget.  This package provides that layer:
+
+* :mod:`repro.serving.windowing` — :class:`SlidingWindowPlan`: configurable
+  stride/overlap slicing with edge padding (no dropped tail) and
+  overlap-aware stitching of per-window scores back onto the series;
+* :mod:`repro.serving.engine` — :class:`InferenceEngine`: registers many
+  per-appliance :class:`~repro.core.CamAL` pipelines, windows the
+  aggregate once, runs all appliances over the shared window batch with
+  micro-batching and an optional LRU result cache, and returns stitched
+  per-timestamp status covering 100 % of the input.
+
+See ``docs/serving.md`` for the windowing/stitching semantics.
+"""
+
+from .engine import (
+    ApplianceSeriesResult,
+    EngineConfig,
+    HouseholdInference,
+    InferenceEngine,
+)
+from .windowing import (
+    SlidingWindowPlan,
+    plan_windows,
+    slice_windows,
+    stitch_mean,
+    stitch_windows,
+)
+
+__all__ = [
+    "SlidingWindowPlan",
+    "plan_windows",
+    "slice_windows",
+    "stitch_mean",
+    "stitch_windows",
+    "EngineConfig",
+    "InferenceEngine",
+    "ApplianceSeriesResult",
+    "HouseholdInference",
+]

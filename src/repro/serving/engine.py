@@ -1,0 +1,252 @@
+"""The serving engine: many appliances, one pass over the aggregate.
+
+``household_report`` used to re-window the aggregate once per appliance
+and drop the trailing partial window.  :class:`InferenceEngine` fixes the
+workload shape for deployment:
+
+* the aggregate is scaled and windowed **once** (a
+  :class:`~repro.serving.windowing.SlidingWindowPlan`), and every
+  registered appliance pipeline runs over that shared window batch;
+* each :class:`~repro.core.CamAL` runs its fused single-forward
+  localization in micro-batches of ``batch_size`` windows;
+* an optional LRU cache keyed on ``(appliance, window-content hash)``
+  short-circuits windows already scored — flat overnight stretches and
+  re-analyzed days hit the cache instead of the conv stack;
+* per-window soft scores are stitched (overlap mean, then threshold) into
+  a per-timestamp status covering 100 % of the input, including the tail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.localization import CamAL, LocalizationOutput
+from ..simdata.preprocessing import SCALE_DIVISOR
+from .windowing import SlidingWindowPlan, plan_windows, slice_windows, stitch_mean
+
+#: Cached per-window result: (probability, cam row, soft row, status row).
+_CacheRow = Tuple[float, np.ndarray, np.ndarray, np.ndarray]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Serving knobs of the :class:`InferenceEngine`."""
+
+    window: int  # window length fed to the pipelines
+    stride: Optional[int] = None  # hop between windows; None = window
+    batch_size: int = 256  # micro-batch size per forward pass
+    cache_size: int = 0  # LRU entries across appliances; 0 disables
+    status_threshold: float = 0.5  # threshold on the stitched soft score
+
+
+@dataclass
+class ApplianceSeriesResult:
+    """One appliance's output over a full series."""
+
+    appliance: str
+    windows: LocalizationOutput  # per-window batch output
+    soft_status: np.ndarray  # (T,) stitched soft score
+    status: np.ndarray  # (T,) stitched binary status
+    cache_hits: int = 0
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of windows where the appliance was detected."""
+        n = len(self.windows.detected)
+        return float(self.windows.detected.sum()) / n if n else 0.0
+
+
+@dataclass
+class HouseholdInference:
+    """Everything the engine produces for one aggregate series."""
+
+    plan: SlidingWindowPlan
+    per_appliance: Dict[str, ApplianceSeriesResult] = field(default_factory=dict)
+
+    @property
+    def n_samples(self) -> int:
+        return self.plan.series_length
+
+    def status(self, appliance: str) -> np.ndarray:
+        return self.per_appliance[appliance].status
+
+    def __iter__(self):
+        return iter(self.per_appliance.items())
+
+
+class InferenceEngine:
+    """Batched multi-appliance CamAL inference over long aggregate series.
+
+    Typical use::
+
+        engine = InferenceEngine(EngineConfig(window=256, stride=128))
+        engine.register("kettle", kettle_camal)
+        engine.load("dishwasher", "models/dishwasher")  # via core.persistence
+        result = engine.run(aggregate_watts)
+        status = result.status("kettle")  # (len(aggregate_watts),)
+    """
+
+    def __init__(self, config: EngineConfig):
+        if config.window <= 0:
+            raise ValueError(f"window must be positive, got {config.window}")
+        if config.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {config.batch_size}")
+        self.config = config
+        self.pipelines: Dict[str, CamAL] = {}
+        self._cache: "OrderedDict[Tuple[str, bytes], _CacheRow]" = OrderedDict()
+
+    # -- pipeline registry ------------------------------------------------
+    def register(self, appliance: str, camal: CamAL) -> "InferenceEngine":
+        """Attach a trained pipeline under ``appliance`` (replaces any).
+
+        Replacing a pipeline drops the appliance's cached window results,
+        so a retrained model is never served the old model's scores.
+        """
+        camal.ensemble.eval()
+        if appliance in self.pipelines:
+            for key in [k for k in self._cache if k[0] == appliance]:
+                del self._cache[key]
+        self.pipelines[appliance] = camal
+        return self
+
+    def load(self, appliance: str, directory: str) -> "InferenceEngine":
+        """Load a persisted pipeline (``save_camal`` layout) and register it."""
+        from ..core.persistence import load_camal
+
+        return self.register(appliance, load_camal(directory))
+
+    @property
+    def appliances(self) -> List[str]:
+        return list(self.pipelines)
+
+    # -- cache ------------------------------------------------------------
+    @property
+    def cache_entries(self) -> int:
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    @staticmethod
+    def _window_key(appliance: str, window: np.ndarray) -> Tuple[str, bytes]:
+        return appliance, hashlib.blake2b(window.tobytes(), digest_size=16).digest()
+
+    def _cache_put(self, key: Tuple[str, bytes], row: _CacheRow) -> None:
+        self._cache[key] = row
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.config.cache_size:
+            self._cache.popitem(last=False)
+
+    # -- inference --------------------------------------------------------
+    def run(
+        self,
+        aggregate_watts: np.ndarray,
+        appliances: Optional[Iterable[str]] = None,
+    ) -> HouseholdInference:
+        """Analyze a raw (Watt) aggregate series with every registered pipeline.
+
+        Args:
+            aggregate_watts: 1-D NaN-free aggregate series.
+            appliances: subset of registered appliances (default: all).
+
+        Returns:
+            A :class:`HouseholdInference` whose per-appliance stitched
+            ``status``/``soft_status`` cover every input timestamp.
+        """
+        aggregate_watts = np.asarray(aggregate_watts, dtype=np.float32)
+        if aggregate_watts.ndim != 1:
+            raise ValueError("InferenceEngine.run expects a 1-D aggregate series")
+        if np.isnan(aggregate_watts).any():
+            raise ValueError("aggregate contains NaNs; forward-fill it first")
+        names = list(self.pipelines) if appliances is None else list(appliances)
+        for name in names:
+            if name not in self.pipelines:
+                raise KeyError(f"no pipeline registered for appliance {name!r}")
+
+        plan = plan_windows(
+            len(aggregate_watts), self.config.window, self.config.stride
+        )
+        # Scale once, window once; every appliance shares this batch.
+        windows = np.ascontiguousarray(
+            slice_windows(aggregate_watts / SCALE_DIVISOR, plan)
+        )
+
+        result = HouseholdInference(plan=plan)
+        for name in names:
+            camal = self.pipelines[name]
+            output, hits = self._localize_cached(name, camal, windows)
+            soft = stitch_mean(output.soft_status, plan)
+            status = (soft >= self.config.status_threshold).astype(np.float32)
+            if camal.power_gate_watts is not None:
+                # Re-apply the power gate on the *series* so stitching can
+                # never turn a below-threshold timestamp ON.
+                status *= (aggregate_watts >= camal.power_gate_watts).astype(
+                    np.float32
+                )
+            result.per_appliance[name] = ApplianceSeriesResult(
+                appliance=name,
+                windows=output,
+                soft_status=soft,
+                status=status,
+                cache_hits=hits,
+            )
+        return result
+
+    def _localize_cached(
+        self, appliance: str, camal: CamAL, windows: np.ndarray
+    ) -> Tuple[LocalizationOutput, int]:
+        """Localize a window batch, serving repeats from the LRU cache."""
+        if self.config.cache_size <= 0:
+            return camal.localize(windows, self.config.batch_size), 0
+
+        n, length = windows.shape
+        proba = np.zeros(n, dtype=np.float32)
+        detected = np.zeros(n, dtype=bool)
+        cam = np.zeros((n, length), dtype=np.float32)
+        soft = np.zeros((n, length), dtype=np.float32)
+        status = np.zeros((n, length), dtype=np.float32)
+
+        keys = [self._window_key(appliance, windows[i]) for i in range(n)]
+        misses: List[int] = []
+        hits = 0
+        for i, key in enumerate(keys):
+            row = self._cache.get(key)
+            if row is None:
+                misses.append(i)
+                continue
+            self._cache.move_to_end(key)
+            hits += 1
+            proba[i], cam[i], soft[i], status[i] = row
+        if misses:
+            miss_idx = np.asarray(misses)
+            fresh = camal.localize(windows[miss_idx], self.config.batch_size)
+            proba[miss_idx] = fresh.detection_proba
+            cam[miss_idx] = fresh.cam
+            soft[miss_idx] = fresh.soft_status
+            status[miss_idx] = fresh.status
+            for j, i in enumerate(misses):
+                # Copy the rows: caching views would pin the whole batch's
+                # arrays in memory for as long as any one row survives.
+                self._cache_put(
+                    keys[i],
+                    (
+                        float(fresh.detection_proba[j]),
+                        fresh.cam[j].copy(),
+                        fresh.soft_status[j].copy(),
+                        fresh.status[j].copy(),
+                    ),
+                )
+        detected[:] = proba > camal.detection_threshold
+        output = LocalizationOutput(
+            detection_proba=proba,
+            detected=detected,
+            cam=cam,
+            soft_status=soft,
+            status=status,
+        )
+        return output, hits

@@ -33,6 +33,7 @@ class TestParser:
         expected = {
             "table2", "table3", "table4",
             "fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9", "fig10",
+            "report",
         }
         assert set(COMMANDS) == expected
 

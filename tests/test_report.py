@@ -109,6 +109,20 @@ class TestAnalyzeSeries:
             assert activation.stop_index > activation.start_index
             assert activation.energy_wh >= 0.0
 
+    def test_trailing_partial_window_is_reported(self):
+        """The final partial window is padded and scored, not dropped: the
+        report covers every input sample (the last hours of a day)."""
+        camal = self._camal()
+        series = np.random.default_rng(3).random(16 * 5 + 7).astype(np.float32)
+        report = analyze_series(camal, series, "kettle", 60.0, 16)
+        assert report.n_samples == len(series)
+
+    def test_overlapping_stride_accepted(self):
+        camal = self._camal()
+        series = np.random.default_rng(4).random(96).astype(np.float32) * 100
+        report = analyze_series(camal, series, "kettle", 60.0, 16, stride=8)
+        assert report.n_samples == 96
+
     def test_household_report_multiple_appliances(self):
         camal = self._camal()
         series = np.random.default_rng(1).random(160).astype(np.float32) * 100
