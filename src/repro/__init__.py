@@ -13,7 +13,9 @@ Package layout:
 * :mod:`repro.baselines` — NILM comparison methods (§V-C);
 * :mod:`repro.metrics` — evaluation measures (§V-D) and the Fig. 9 costs;
 * :mod:`repro.experiments` — per-table/figure runners;
-* :mod:`repro.training` — shared training loops.
+* :mod:`repro.training` — training subsystem (resumable loops,
+  bit-for-bit checkpoint/resume; parallel ensemble training lives in
+  :mod:`repro.core.ensemble`).
 
 Quickstart::
 

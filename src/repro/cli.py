@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any table or figure of the paper.
+"""Command-line interface: regenerate paper artifacts, or train pipelines.
 
 Usage::
 
@@ -6,17 +6,23 @@ Usage::
     python -m repro fig8 --preset fast
     python -m repro report --preset fast        # serving-engine demo
     python -m repro all --preset bench          # everything, in order
+    python -m repro train --appliance kettle --workers 4 \
+        --checkpoint-dir ckpts/kettle --out models/kettle
 
 Each experiment subcommand prints the same rows/series the paper reports
 (see EXPERIMENTS.md for the paper-vs-measured comparison); ``report``
 trains per-appliance pipelines and serves an unseen household through the
-:class:`repro.serving.InferenceEngine`.
+:class:`repro.serving.InferenceEngine`; ``train`` runs Algorithm 1 for one
+appliance — optionally across worker processes and resumable from
+per-candidate checkpoints — and persists the pipeline for
+``InferenceEngine.load`` (see ``docs/training.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -181,6 +187,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables and figures of the CamAL paper.",
+        epilog="additional subcommand: 'repro train [...]' — train and "
+        "persist one appliance pipeline (own flags; see 'repro train "
+        "--help' and docs/training.md)",
     )
     parser.add_argument(
         "experiment",
@@ -198,7 +207,126 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_train_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro train`` subcommand."""
+    from .training.config import SCHEDULERS
+
+    parser = argparse.ArgumentParser(
+        prog="repro train",
+        description="Train a CamAL pipeline (Algorithm 1) for one appliance "
+        "and persist it for InferenceEngine.load.",
+    )
+    parser.add_argument("--corpus", default="ukdale", help="corpus name (default: ukdale)")
+    parser.add_argument("--appliance", default="kettle", help="target appliance")
+    parser.add_argument(
+        "--preset",
+        default="bench",
+        choices=sorted(ex.PRESETS),
+        help="scale preset (default: bench)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for candidate training (1 = serial; results "
+        "are identical for any value)",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=None, help="override the preset's epoch count"
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="none",
+        choices=SCHEDULERS,
+        help="LR schedule applied inside each candidate's training loop",
+    )
+    parser.add_argument(
+        "--warmup-epochs",
+        type=int,
+        default=0,
+        help="linear-warmup epochs (warmup_cosine scheduler only)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for per-candidate resumable checkpoints",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore existing checkpoints and retrain from scratch",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory to persist the trained pipeline (save_camal layout)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-epoch train/val losses and learning rate",
+    )
+    return parser
+
+
+def run_train(args: argparse.Namespace) -> str:
+    """Execute ``repro train`` and return the human-readable summary."""
+    from dataclasses import replace
+
+    from .core import CamAL, save_camal, train_ensemble
+
+    preset = ex.get_preset(args.preset)
+    corpus = ex.build_corpus(args.corpus, preset, args.seed)
+    case = ex.case_windows(corpus, args.appliance, preset.window, split_seed=args.seed)
+
+    config = preset.ensemble_config(args.seed)
+    train_cfg = replace(
+        config.train,
+        epochs=args.epochs if args.epochs is not None else config.train.epochs,
+        scheduler=args.scheduler,
+        warmup_epochs=args.warmup_epochs,
+        resume=not args.no_resume,
+        verbose=args.progress,
+    )
+    config = replace(config, train=train_cfg)
+
+    start = time.perf_counter()
+    ensemble, candidates = train_ensemble(
+        case.train.inputs,
+        case.train.weak,
+        case.val.inputs,
+        case.val.weak,
+        config,
+        n_workers=max(args.workers, 1),
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    wall = time.perf_counter() - start
+
+    camal = CamAL(ensemble, power_gate_watts=case.spec.on_threshold_watts)
+    lines = [
+        f"Trained {args.appliance} on {args.corpus} "
+        f"(preset={preset.name}, workers={max(args.workers, 1)})",
+        f"  candidates        : {len(candidates)} "
+        f"(kernels {tuple(config.kernel_set)}, {config.n_trials} trial(s) each)",
+        f"  selected ensemble : {len(ensemble)} members, "
+        f"kernels {tuple(ensemble.kernel_sizes)}",
+        f"  best val loss     : {min(c.val_loss for c in candidates):.4f}",
+        f"  wall time         : {wall:.1f}s",
+    ]
+    if args.checkpoint_dir:
+        lines.append(f"  checkpoints       : {args.checkpoint_dir}")
+    if args.out:
+        save_camal(camal, args.out)
+        lines.append(f"  pipeline saved to : {args.out}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "train":
+        print(run_train(build_train_parser().parse_args(argv[1:])))
+        return 0
     args = build_parser().parse_args(argv)
     preset = ex.get_preset(args.preset)
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]

@@ -16,6 +16,7 @@ from .ensemble import (
     ResNetEnsemble,
     TrainedCandidate,
     train_ensemble,
+    train_ensemble_parallel,
 )
 from .localization import CamAL, LocalizationOutput, localize_double_forward
 from .persistence import load_camal, load_pipelines, save_camal, save_pipelines
@@ -54,6 +55,7 @@ __all__ = [
     "ResNetEnsemble",
     "TrainedCandidate",
     "train_ensemble",
+    "train_ensemble_parallel",
     "CamAL",
     "LocalizationOutput",
     "localize_double_forward",

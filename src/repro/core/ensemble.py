@@ -4,12 +4,23 @@ For each kernel size ``k_p`` in the kernel set, train ``n_trials`` ResNets
 on an 80/20 split of the training windows (the 20 % sub-split monitors
 training / early stopping), evaluate every candidate on the *separate*
 validation set, and keep the ``n`` models with the lowest validation loss.
+
+The candidates are fully independent — each is seeded by a deterministic
+function of ``(seed, kernel, trial)`` — so :func:`train_ensemble` can fan
+them out over a ``ProcessPoolExecutor`` (``n_workers > 1``, or the
+:func:`train_ensemble_parallel` convenience wrapper) and produce results
+bit-identical to the serial order.  With ``checkpoint_dir`` set, every
+candidate writes a resumable per-candidate checkpoint (see
+:mod:`repro.training.checkpoint`), so an interrupted ensemble run picks up
+where it left off instead of retraining finished members.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 from dataclasses import dataclass, field, replace
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -136,12 +147,97 @@ def _split_train_sub(
     return x[train_idx], y[train_idx], x[monitor_idx], y[monitor_idx]
 
 
+#: One row of Algorithm 1's candidate grid: (kernel_index, kernel_size,
+#: trial, model_seed, checkpoint_path).  Plain tuple so it pickles cheaply.
+_CandidatePlan = Tuple[int, int, int, int, Optional[str]]
+
+#: Shared training data stashed per worker process by the pool initializer
+#: (fork-safe and pickled once per worker instead of once per candidate).
+_WORKER_DATA: Optional[Tuple] = None
+
+
+def _training_digest(
+    config: EnsembleConfig, arrays: Sequence[np.ndarray]
+) -> str:
+    """Short content hash of the training task (data + architecture).
+
+    Folded into candidate checkpoint filenames so sharing one
+    ``checkpoint_dir`` across appliances, corpora or presets can never
+    silently resume another task's weights — a different task simply gets
+    different filenames and trains fresh.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    digest.update(repr(config.filters).encode())
+    return digest.hexdigest()
+
+
+def _candidate_plans(
+    config: EnsembleConfig, checkpoint_dir: Optional[str], task_digest: str
+) -> List[_CandidatePlan]:
+    """The deterministic candidate grid of Algorithm 1, lines 2-3."""
+    plans: List[_CandidatePlan] = []
+    for kernel_index, kernel_size in enumerate(config.kernel_set):
+        for trial in range(config.n_trials):
+            # The index term keeps seeds distinct even when the ablation
+            # passes the same kernel size several times.
+            model_seed = (
+                config.seed * 10_000 + kernel_index * 1_000 + kernel_size * 10 + trial
+            )
+            path = None
+            if checkpoint_dir is not None:
+                # model_seed isolates runs with different ensemble seeds;
+                # the task digest isolates different data/architectures.
+                # (TrainConfig drift inside a matching file is caught by the
+                # checkpoint's own config fingerprint on resume.)
+                path = os.path.join(
+                    checkpoint_dir,
+                    f"candidate_i{kernel_index}_k{kernel_size}_t{trial}"
+                    f"_s{model_seed}_d{task_digest}.npz",
+                )
+            plans.append((kernel_index, kernel_size, trial, model_seed, path))
+    return plans
+
+
+def _train_candidate(
+    plan: _CandidatePlan, data: Tuple
+) -> Tuple[_CandidatePlan, Dict[str, np.ndarray], float, float]:
+    """Train one candidate; returns its state dict instead of the model so
+    the result crosses process boundaries without pickling live modules."""
+    filters, train_config, x_sub, y_sub, x_mon, y_mon, x_val, y_val = data
+    _, kernel_size, _, model_seed, checkpoint_path = plan
+    model = ResNetTSC(
+        ResNetConfig(kernel_size=kernel_size, filters=filters, seed=model_seed)
+    )
+    train_cfg = replace(
+        train_config, seed=model_seed, checkpoint_path=checkpoint_path
+    )
+    result = train_classifier(model, x_sub, y_sub, x_mon, y_mon, train_cfg)
+    model.eval()
+    val_loss = evaluate_classifier_loss(model, x_val, y_val)
+    return plan, model.state_dict(), float(val_loss), result.wall_time_seconds
+
+
+def _init_worker(data: Tuple) -> None:
+    global _WORKER_DATA
+    _WORKER_DATA = data
+
+
+def _train_candidate_in_worker(plan: _CandidatePlan):
+    return _train_candidate(plan, _WORKER_DATA)
+
+
 def train_ensemble(
     x_train: np.ndarray,
     y_train: np.ndarray,
     x_val: np.ndarray,
     y_val: np.ndarray,
     config: Optional[EnsembleConfig] = None,
+    n_workers: int = 1,
+    checkpoint_dir: Optional[str] = None,
 ) -> Tuple[ResNetEnsemble, List[TrainedCandidate]]:
     """Run Algorithm 1 and return (selected ensemble, all candidates).
 
@@ -150,8 +246,19 @@ def train_ensemble(
         x_val / y_val: the separate validation set used for model selection
             (Algorithm 1's ``D_validation``).
         config: ensemble and training hyper-parameters.
+        n_workers: worker processes to train candidates on.  ``1`` (the
+            default) trains serially in-process; any value is safe — the
+            candidates are seed-isolated, so the selected ensemble is
+            identical regardless of worker count.
+        checkpoint_dir: when set, each candidate checkpoints its epochs to
+            ``<dir>/candidate_i<ki>_k<ks>_t<trial>_s<seed>_d<digest>.npz``
+            (digest = hash of the training data + architecture) and
+            resumes from an existing checkpoint (honouring
+            ``config.train.resume``).
     """
     config = config or EnsembleConfig()
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     rng = np.random.default_rng(config.seed)
     x_sub, y_sub, x_mon, y_mon = _split_train_sub(
         np.asarray(x_train, dtype=np.float32),
@@ -159,35 +266,78 @@ def train_ensemble(
         config.train_sub_fraction,
         rng,
     )
+    x_val = np.asarray(x_val, dtype=np.float32)
+    y_val = np.asarray(y_val, dtype=np.int64)
+
+    task_digest = ""
+    if checkpoint_dir is not None:
+        task_digest = _training_digest(config, (x_sub, y_sub, x_mon, y_mon))
+    plans = _candidate_plans(config, checkpoint_dir, task_digest)
+    data = (config.filters, config.train, x_sub, y_sub, x_mon, y_mon, x_val, y_val)
+    if n_workers > 1 and len(plans) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(plans)),
+            initializer=_init_worker,
+            initargs=(data,),
+        ) as pool:
+            # executor.map preserves submission order, so the merge below is
+            # independent of which worker finishes first.
+            outcomes = list(pool.map(_train_candidate_in_worker, plans))
+    else:
+        outcomes = [_train_candidate(plan, data) for plan in plans]
 
     candidates: List[TrainedCandidate] = []
-    for kernel_index, kernel_size in enumerate(config.kernel_set):
-        for trial in range(config.n_trials):
-            # The index term keeps seeds distinct even when the ablation
-            # passes the same kernel size several times.
-            model_seed = (
-                config.seed * 10_000 + kernel_index * 1_000 + kernel_size * 10 + trial
+    for (_, kernel_size, trial, model_seed, _), state, val_loss, wall in outcomes:
+        model = ResNetTSC(
+            ResNetConfig(
+                kernel_size=kernel_size, filters=config.filters, seed=model_seed
             )
-            model = ResNetTSC(
-                ResNetConfig(
-                    kernel_size=kernel_size, filters=config.filters, seed=model_seed
-                )
+        )
+        model.load_state_dict(state)
+        model.eval()
+        candidates.append(
+            TrainedCandidate(
+                model=model,
+                kernel_size=kernel_size,
+                trial=trial,
+                val_loss=val_loss,
+                wall_time_seconds=wall,
             )
-            train_cfg = replace(config.train, seed=model_seed)
-            result = train_classifier(model, x_sub, y_sub, x_mon, y_mon, train_cfg)
-            model.eval()
-            val_loss = evaluate_classifier_loss(model, x_val, y_val)
-            candidates.append(
-                TrainedCandidate(
-                    model=model,
-                    kernel_size=kernel_size,
-                    trial=trial,
-                    val_loss=val_loss,
-                    wall_time_seconds=result.wall_time_seconds,
-                )
-            )
+        )
 
     # Algorithm 1, line 9: keep the n models with lowest validation loss.
+    # sorted() is stable, so equal losses keep grid order and the selection
+    # matches the serial path exactly.
     ranked = sorted(candidates, key=lambda c: c.val_loss)
     selected = [c.model for c in ranked[: config.n_models]]
     return ResNetEnsemble(selected), candidates
+
+
+def train_ensemble_parallel(
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    config: Optional[EnsembleConfig] = None,
+    n_workers: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+) -> Tuple[ResNetEnsemble, List[TrainedCandidate]]:
+    """Process-parallel Algorithm 1: :func:`train_ensemble` across workers.
+
+    ``n_workers`` defaults to the machine's CPU count.  Because every
+    candidate derives its own seed, the returned ensemble and candidate
+    list are bit-identical to a serial :func:`train_ensemble` run.
+    """
+    if n_workers is None:
+        n_workers = os.cpu_count() or 1
+    return train_ensemble(
+        x_train,
+        y_train,
+        x_val,
+        y_val,
+        config,
+        n_workers=max(n_workers, 1),
+        checkpoint_dir=checkpoint_dir,
+    )

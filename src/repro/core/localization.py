@@ -60,12 +60,16 @@ class CamAL:
         ensemble: trained :class:`ResNetEnsemble` for the target appliance.
         detection_threshold: minimum ensemble probability to localize.
         use_attention: if ``False``, skip the attention-sigmoid module and
-            threshold the averaged CAM directly at 0.5 (the "w/o Attention
-            module" ablation of Table IV).
+            threshold the averaged CAM directly (the "w/o Attention module"
+            ablation of Table IV).
         power_gate_watts: if set, a timestamp is only marked ON when the
             unscaled aggregate reaches this many Watts (usually the
             appliance's Table-I ON threshold).  ``None`` disables the gate
             and keeps the literal §IV-B formula.
+        status_threshold: soft-score level at which a timestamp rounds to
+            ON (the paper's 0.5 in §IV-B step 6).  The pipeline owns this
+            value — consumers such as the serving engine's stitcher default
+            to it rather than imposing their own.
     """
 
     def __init__(
@@ -74,11 +78,13 @@ class CamAL:
         detection_threshold: float = 0.5,
         use_attention: bool = True,
         power_gate_watts: Optional[float] = None,
+        status_threshold: float = 0.5,
     ):
         self.ensemble = ensemble
         self.detection_threshold = detection_threshold
         self.use_attention = use_attention
         self.power_gate_watts = power_gate_watts
+        self.status_threshold = status_threshold
 
     # -- Problem 1 --------------------------------------------------------
     def detect(self, x: np.ndarray) -> np.ndarray:
@@ -109,7 +115,7 @@ class CamAL:
         else:
             # Ablation: threshold the raw averaged CAM directly.
             soft = cam
-        status = ((soft >= 0.5) & mask).astype(np.float32)
+        status = ((soft >= self.status_threshold) & mask).astype(np.float32)
         if self.power_gate_watts is not None:
             # x is the /1000-scaled aggregate; compare in the same unit.
             status *= (x >= self.power_gate_watts / SCALE_DIVISOR).astype(np.float32)
@@ -159,7 +165,7 @@ def localize_double_forward(
         else:
             soft_chunk = cam_chunk
         soft[chunk] = soft_chunk
-        status_chunk = (soft_chunk >= 0.5).astype(np.float32)
+        status_chunk = (soft_chunk >= camal.status_threshold).astype(np.float32)
         if camal.power_gate_watts is not None:
             gate = x[chunk] >= camal.power_gate_watts / SCALE_DIVISOR
             status_chunk *= gate.astype(np.float32)

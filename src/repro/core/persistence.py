@@ -49,6 +49,7 @@ def save_camal(camal: CamAL, directory: str) -> None:
         "detection_threshold": camal.detection_threshold,
         "use_attention": camal.use_attention,
         "power_gate_watts": camal.power_gate_watts,
+        "status_threshold": camal.status_threshold,
         "members": members,
     }
     with open(os.path.join(directory, MANIFEST_NAME), "w") as handle:
@@ -86,6 +87,8 @@ def load_camal(directory: str) -> CamAL:
         detection_threshold=float(manifest["detection_threshold"]),
         use_attention=bool(manifest["use_attention"]),
         power_gate_watts=None if gate is None else float(gate),
+        # Older manifests predate per-pipeline soft-status thresholds.
+        status_threshold=float(manifest.get("status_threshold", 0.5)),
     )
 
 

@@ -169,8 +169,15 @@ def run_camal(
     power_gate: bool = True,
     kernel_set: Optional[Tuple[int, ...]] = None,
     n_models: Optional[int] = None,
+    n_workers: int = 1,
+    checkpoint_dir: Optional[str] = None,
 ) -> Tuple[CaseResult, CamAL]:
-    """Train the CamAL ensemble on weak labels and evaluate localization."""
+    """Train the CamAL ensemble on weak labels and evaluate localization.
+
+    ``n_workers > 1`` trains the ensemble candidates in parallel worker
+    processes (identical results, see :func:`repro.core.train_ensemble`);
+    ``checkpoint_dir`` makes the run resumable per candidate.
+    """
     config = preset.ensemble_config(seed)
     if kernel_set is not None:
         from dataclasses import replace
@@ -183,7 +190,13 @@ def run_camal(
 
     start = time.perf_counter()
     ensemble, _ = train_ensemble(
-        case.train.inputs, case.train.weak, case.val.inputs, case.val.weak, config
+        case.train.inputs,
+        case.train.weak,
+        case.val.inputs,
+        case.val.weak,
+        config,
+        n_workers=n_workers,
+        checkpoint_dir=checkpoint_dir,
     )
     train_seconds = time.perf_counter() - start
 

@@ -26,7 +26,16 @@ from .layers import (
 )
 from .losses import BCEWithLogitsLoss, CrossEntropyLoss, MSELoss
 from .modules import Module, ModuleList, Sequential
-from .optim import Adam, AdamW, CosineAnnealingLR, SGD, StepLR
+from .optim import (
+    Adam,
+    AdamW,
+    CosineAnnealingLR,
+    LRScheduler,
+    Optimizer,
+    SGD,
+    StepLR,
+    WarmupCosineLR,
+)
 from .recurrent import GRU, GRUCell
 from .serialization import load_state, save_state
 from .tensor import Tensor, concat, no_grad, ones, stack, tensor, where, zeros
@@ -65,11 +74,14 @@ __all__ = [
     "CrossEntropyLoss",
     "BCEWithLogitsLoss",
     "MSELoss",
+    "Optimizer",
     "SGD",
     "Adam",
     "AdamW",
+    "LRScheduler",
     "StepLR",
     "CosineAnnealingLR",
+    "WarmupCosineLR",
     "Dataset",
     "TensorDataset",
     "Subset",

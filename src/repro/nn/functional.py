@@ -116,26 +116,30 @@ def max_pool1d(x: Tensor, kernel: int) -> Tensor:
 def avg_pool1d(x: Tensor, kernel: int) -> Tensor:
     """Non-overlapping average pooling (stride == kernel), zero right-pad.
 
-    When padding is required the divisor stays ``kernel`` (count-include-pad),
-    matching the simplest convention; the experiments only use divisible
-    lengths.
+    When the length is not divisible by ``kernel`` the tail block is
+    averaged over the *real* samples it covers (count-exclude-pad): a
+    count-include-pad divisor would bias the tail output toward zero, and
+    its backward would leak gradient mass onto the padding.
     """
     n, c, length = x.shape
     remainder = length % kernel
     pad = kernel - remainder if remainder else 0
     data = np.pad(x.data, ((0, 0), (0, 0), (0, pad))) if pad else x.data
     l_out = data.shape[2] // kernel
-    out = data.reshape(n, c, l_out, kernel).mean(axis=3)
+    counts = np.full(l_out, kernel, dtype=DEFAULT_DTYPE)
+    if pad:
+        counts[-1] = remainder
+    out = data.reshape(n, c, l_out, kernel).sum(axis=3) / counts
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        d_x = np.repeat(grad / kernel, kernel, axis=2)
+        d_x = np.repeat(grad / counts, kernel, axis=2)
         if pad:
             d_x = d_x[:, :, :length]
         x._accumulate(np.ascontiguousarray(d_x))
 
-    return Tensor._make_from(out, (x,), backward, "avg_pool1d")
+    return Tensor._make_from(out.astype(DEFAULT_DTYPE), (x,), backward, "avg_pool1d")
 
 
 def global_avg_pool1d(x: Tensor) -> Tensor:

@@ -1,9 +1,16 @@
-"""Optimizers (SGD, Adam, AdamW) and learning-rate schedulers."""
+"""Optimizers (SGD, Adam, AdamW) and learning-rate schedulers.
+
+Every optimizer and scheduler exposes ``state_dict()`` /
+``load_state_dict()`` so a training run can be checkpointed and resumed
+bit-for-bit: the Adam moments and step count (which drive the bias
+correction) travel with the checkpoint, as do the per-epoch counters of
+the LR schedules.  See :mod:`repro.training.checkpoint`.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -25,6 +32,34 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # -- (de)serialization -------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Everything needed to resume stepping exactly where it stopped.
+
+        Array-valued entries (moment buffers) are lists of copies aligned
+        with ``self.params``; scalar entries are plain Python numbers.
+        """
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a mapping produced by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+
+    @staticmethod
+    def _load_buffers(target: List[np.ndarray], source) -> None:
+        """Copy a checkpointed buffer list into the live one, shape-checked."""
+        if len(source) != len(target):
+            raise ValueError(
+                f"optimizer state has {len(source)} buffers, expected {len(target)}"
+            )
+        for buf, value in zip(target, source):
+            value = np.asarray(value, dtype=buf.dtype)
+            if value.shape != buf.shape:
+                raise ValueError(
+                    f"optimizer buffer shape mismatch: {value.shape} vs {buf.shape}"
+                )
+            buf[...] = value
 
     def clip_grad_norm(self, max_norm: float) -> float:
         """Clip the global gradient norm in place; returns the pre-clip norm."""
@@ -62,6 +97,15 @@ class SGD(Optimizer):
                 vel += grad
                 grad = vel
             param.data -= self.lr * grad
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._load_buffers(self._velocity, state["velocity"])
 
 
 class Adam(Optimizer):
@@ -101,6 +145,19 @@ class Adam(Optimizer):
             v_hat = v / bc2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["step"] = self._t
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._t = int(state["step"])
+        self._load_buffers(self._m, state["m"])
+        self._load_buffers(self._v, state["v"])
+
 
 class AdamW(Adam):
     """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
@@ -124,32 +181,93 @@ class AdamW(Adam):
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
 
-class StepLR:
-    """Multiply the optimizer LR by ``gamma`` every ``step_size`` epochs."""
+class LRScheduler:
+    """Base class: tracks the epoch counter and the base LR.
 
-    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+    ``state_dict``/``load_state_dict`` round-trip the counter and base LR
+    (and, on load, re-apply the schedule) so a resumed run continues on
+    exactly the LR trajectory the uninterrupted run would have followed.
+    """
+
+    def __init__(self, optimizer: Optimizer):
         self.optimizer = optimizer
-        self.step_size = step_size
-        self.gamma = gamma
         self._epoch = 0
         self._base_lr = optimizer.lr
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
 
     def step(self) -> None:
         self._epoch += 1
-        self.optimizer.lr = self._base_lr * self.gamma ** (self._epoch // self.step_size)
+        self.optimizer.lr = self._lr_at(self._epoch)
+
+    def state_dict(self) -> Dict[str, float]:
+        return {"epoch": self._epoch, "base_lr": self._base_lr}
+
+    def load_state_dict(self, state: Dict[str, float]) -> None:
+        self._epoch = int(state["epoch"])
+        self._base_lr = float(state["base_lr"])
+        if self._epoch > 0:
+            self.optimizer.lr = self._lr_at(self._epoch)
 
 
-class CosineAnnealingLR:
+class StepLR(LRScheduler):
+    """Multiply the optimizer LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self._base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
     """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
 
     def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
-        self.optimizer = optimizer
+        super().__init__(optimizer)
         self.t_max = max(t_max, 1)
         self.eta_min = eta_min
-        self._epoch = 0
-        self._base_lr = optimizer.lr
 
-    def step(self) -> None:
-        self._epoch = min(self._epoch + 1, self.t_max)
-        cos = 0.5 * (1.0 + math.cos(math.pi * self._epoch / self.t_max))
-        self.optimizer.lr = self.eta_min + (self._base_lr - self.eta_min) * cos
+    def _lr_at(self, epoch: int) -> float:
+        epoch = min(epoch, self.t_max)
+        cos = 0.5 * (1.0 + math.cos(math.pi * epoch / self.t_max))
+        return self.eta_min + (self._base_lr - self.eta_min) * cos
+
+
+class WarmupCosineLR(LRScheduler):
+    """Linear warmup to the base LR, then cosine decay to ``eta_min``.
+
+    For the first ``warmup_epochs`` steps the LR ramps linearly from
+    ``base_lr / warmup_epochs`` up to ``base_lr``; the remaining
+    ``t_max - warmup_epochs`` steps follow :class:`CosineAnnealingLR`.
+    ``warmup_epochs == 0`` degenerates to plain cosine annealing.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        t_max: int,
+        warmup_epochs: int = 0,
+        eta_min: float = 0.0,
+    ):
+        if warmup_epochs < 0:
+            raise ValueError(f"warmup_epochs must be >= 0, got {warmup_epochs}")
+        super().__init__(optimizer)
+        self.t_max = max(t_max, 1)
+        self.warmup_epochs = min(warmup_epochs, self.t_max)
+        self.eta_min = eta_min
+        if self.warmup_epochs > 0:
+            # Warmup applies from the very first batch of epoch 0, not only
+            # after the first scheduler step.
+            self.optimizer.lr = self._lr_at(0)
+
+    def _lr_at(self, epoch: int) -> float:
+        if epoch < self.warmup_epochs:
+            return self._base_lr * (epoch + 1) / self.warmup_epochs
+        decay_span = max(self.t_max - self.warmup_epochs, 1)
+        progress = min(epoch - self.warmup_epochs, decay_span)
+        cos = 0.5 * (1.0 + math.cos(math.pi * progress / decay_span))
+        return self.eta_min + (self._base_lr - self.eta_min) * cos

@@ -29,8 +29,12 @@ from ..core.localization import CamAL, LocalizationOutput
 from ..simdata.preprocessing import SCALE_DIVISOR
 from .windowing import SlidingWindowPlan, plan_windows, slice_windows, stitch_mean
 
-#: Cached per-window result: (probability, cam row, soft row, status row).
-_CacheRow = Tuple[float, np.ndarray, np.ndarray, np.ndarray]
+#: Cached per-window result: (probability, detected flag, cam row, soft
+#: row, status row) — the *complete* ``LocalizationOutput`` row, so a
+#: cache hit replays exactly what the pipeline produced rather than
+#: recomputing any part of it (recomputing ``detected`` from the cached
+#: probability is how cached and uncached runs drift apart).
+_CacheRow = Tuple[float, bool, np.ndarray, np.ndarray, np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -41,7 +45,10 @@ class EngineConfig:
     stride: Optional[int] = None  # hop between windows; None = window
     batch_size: int = 256  # micro-batch size per forward pass
     cache_size: int = 0  # LRU entries across appliances; 0 disables
-    status_threshold: float = 0.5  # threshold on the stitched soft score
+    #: Threshold on the stitched soft score.  ``None`` (the default)
+    #: defers to each pipeline's own ``status_threshold``; set a value
+    #: only to explicitly override every pipeline.
+    status_threshold: Optional[float] = None
 
 
 @dataclass
@@ -181,7 +188,7 @@ class InferenceEngine:
             camal = self.pipelines[name]
             output, hits = self._localize_cached(name, camal, windows)
             soft = stitch_mean(output.soft_status, plan)
-            status = (soft >= self.config.status_threshold).astype(np.float32)
+            status = (soft >= self._status_threshold(camal)).astype(np.float32)
             if camal.power_gate_watts is not None:
                 # Re-apply the power gate on the *series* so stitching can
                 # never turn a below-threshold timestamp ON.
@@ -196,6 +203,12 @@ class InferenceEngine:
                 cache_hits=hits,
             )
         return result
+
+    def _status_threshold(self, camal: CamAL) -> float:
+        """Stitching threshold: the pipeline's own unless the config overrides."""
+        if self.config.status_threshold is not None:
+            return float(self.config.status_threshold)
+        return float(getattr(camal, "status_threshold", 0.5))
 
     def _localize_cached(
         self, appliance: str, camal: CamAL, windows: np.ndarray
@@ -221,11 +234,12 @@ class InferenceEngine:
                 continue
             self._cache.move_to_end(key)
             hits += 1
-            proba[i], cam[i], soft[i], status[i] = row
+            proba[i], detected[i], cam[i], soft[i], status[i] = row
         if misses:
             miss_idx = np.asarray(misses)
             fresh = camal.localize(windows[miss_idx], self.config.batch_size)
             proba[miss_idx] = fresh.detection_proba
+            detected[miss_idx] = fresh.detected
             cam[miss_idx] = fresh.cam
             soft[miss_idx] = fresh.soft_status
             status[miss_idx] = fresh.status
@@ -236,12 +250,12 @@ class InferenceEngine:
                     keys[i],
                     (
                         float(fresh.detection_proba[j]),
+                        bool(fresh.detected[j]),
                         fresh.cam[j].copy(),
                         fresh.soft_status[j].copy(),
                         fresh.status[j].copy(),
                     ),
                 )
-        detected[:] = proba > camal.detection_threshold
         output = LocalizationOutput(
             detection_proba=proba,
             detected=detected,

@@ -1,0 +1,217 @@
+"""Checkpoint/resume for the training loops — bit-for-bit reproducible.
+
+A :class:`TrainingCheckpoint` captures *everything* the epoch loop needs
+to continue as if it had never stopped:
+
+* model parameters and buffers (the live state, not just the best one);
+* optimizer state (Adam/AdamW moments and step count, SGD velocity, LR);
+* LR-scheduler counters;
+* RNG state — both the loop's batch-shuffling generator and the private
+  generator of every ``Dropout`` module in the model;
+* the loss histories and the early-stopping bookkeeping (best state,
+  best epoch, bad-epoch counter).
+
+Checkpoints are single ``.npz`` archives written atomically (tmp file +
+``os.replace``), so a run killed mid-write still leaves the previous
+checkpoint intact.  Array payloads live as npz entries; scalar state,
+histories and RNG states travel in one JSON header entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.modules import Module
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+_META_KEY = "__meta__"
+_MODEL_PREFIX = "model."
+_BEST_PREFIX = "best."
+_OPT_PREFIX = "opt."
+
+
+@dataclass
+class TrainingCheckpoint:
+    """Complete snapshot of a training run at an epoch boundary."""
+
+    epoch: int  # number of completed epochs
+    model_state: Dict[str, np.ndarray]
+    optimizer_state: Dict[str, object]
+    rng_state: Dict[str, object]
+    scheduler_state: Optional[Dict[str, float]] = None
+    train_losses: List[float] = field(default_factory=list)
+    val_losses: List[float] = field(default_factory=list)
+    epoch_times: List[float] = field(default_factory=list)
+    best_val_loss: float = float("inf")
+    best_epoch: int = -1
+    bad_epochs: int = 0
+    best_model_state: Optional[Dict[str, np.ndarray]] = None
+    stopped_early: bool = False
+    #: Trajectory-defining config (optimizer, LR, schedule, …) captured at
+    #: save time; resume refuses to continue under a different config.
+    config_fingerprint: Optional[Dict[str, object]] = None
+
+
+def state_dicts_equal(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> bool:
+    """True iff two module state dicts are bit-for-bit identical.
+
+    The equality contract behind every resume/parallel guarantee in this
+    package — shared so tests, benchmarks and examples assert the same
+    thing.
+    """
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+# ----------------------------------------------------------------------
+# RNG capture
+# ----------------------------------------------------------------------
+def _dropout_generators(model: Module) -> List[np.random.Generator]:
+    """The private generators of every Dropout-like module, in walk order."""
+    return [
+        module._rng
+        for module in model.modules()
+        if isinstance(getattr(module, "_rng", None), np.random.Generator)
+    ]
+
+
+def capture_rng_state(loop_rng: np.random.Generator, model: Module) -> Dict[str, object]:
+    """Snapshot the loop generator and every model-owned dropout generator."""
+    return {
+        "loop": loop_rng.bit_generator.state,
+        "dropout": [g.bit_generator.state for g in _dropout_generators(model)],
+    }
+
+
+def restore_rng_state(
+    state: Dict[str, object], loop_rng: np.random.Generator, model: Module
+) -> None:
+    """Restore a snapshot taken by :func:`capture_rng_state`."""
+    loop_rng.bit_generator.state = state["loop"]
+    generators = _dropout_generators(model)
+    saved = state["dropout"]
+    if len(saved) != len(generators):
+        raise ValueError(
+            f"checkpoint has {len(saved)} dropout RNG states but the model "
+            f"owns {len(generators)} dropout generators"
+        )
+    for generator, rng_state in zip(generators, saved):
+        generator.bit_generator.state = rng_state
+
+
+# ----------------------------------------------------------------------
+# (De)serialization
+# ----------------------------------------------------------------------
+def _flatten_optimizer_state(
+    state: Dict[str, object], payload: Dict[str, np.ndarray]
+) -> Dict[str, object]:
+    """Split optimizer state into npz arrays + a JSON-able descriptor."""
+    scalars: Dict[str, object] = {}
+    lists: Dict[str, int] = {}
+    arrays: List[str] = []
+    for key, value in state.items():
+        if isinstance(value, list):
+            lists[key] = len(value)
+            for i, item in enumerate(value):
+                payload[f"{_OPT_PREFIX}{key}.{i}"] = np.asarray(item)
+        elif isinstance(value, np.ndarray):
+            arrays.append(key)
+            payload[f"{_OPT_PREFIX}{key}"] = value
+        else:
+            scalars[key] = value
+    return {"scalars": scalars, "lists": lists, "arrays": arrays}
+
+
+def _rebuild_optimizer_state(
+    descriptor: Dict[str, object], archive
+) -> Dict[str, object]:
+    state: Dict[str, object] = dict(descriptor["scalars"])
+    for key in descriptor["arrays"]:
+        state[key] = archive[f"{_OPT_PREFIX}{key}"]
+    for key, length in descriptor["lists"].items():
+        state[key] = [archive[f"{_OPT_PREFIX}{key}.{i}"] for i in range(length)]
+    return state
+
+
+def save_checkpoint(path: str, checkpoint: TrainingCheckpoint) -> None:
+    """Write ``checkpoint`` to ``path`` (a ``.npz`` archive), atomically."""
+    payload: Dict[str, np.ndarray] = {}
+    for name, value in checkpoint.model_state.items():
+        payload[_MODEL_PREFIX + name] = value
+    if checkpoint.best_model_state is not None:
+        for name, value in checkpoint.best_model_state.items():
+            payload[_BEST_PREFIX + name] = value
+    optimizer_descriptor = _flatten_optimizer_state(
+        checkpoint.optimizer_state, payload
+    )
+    meta = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "epoch": checkpoint.epoch,
+        "stopped_early": checkpoint.stopped_early,
+        "train_losses": checkpoint.train_losses,
+        "val_losses": checkpoint.val_losses,
+        "epoch_times": checkpoint.epoch_times,
+        "best_val_loss": checkpoint.best_val_loss,
+        "best_epoch": checkpoint.best_epoch,
+        "bad_epochs": checkpoint.bad_epochs,
+        "has_best": checkpoint.best_model_state is not None,
+        "rng_state": checkpoint.rng_state,
+        "optimizer": optimizer_descriptor,
+        "scheduler_state": checkpoint.scheduler_state,
+        "config_fingerprint": checkpoint.config_fingerprint,
+    }
+    payload[_META_KEY] = np.asarray(json.dumps(meta))
+
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        np.savez(handle, **payload)
+    os.replace(tmp_path, path)
+
+
+def checkpoint_exists(path: Optional[str]) -> bool:
+    return path is not None and os.path.exists(path)
+
+
+def load_checkpoint(path: str) -> TrainingCheckpoint:
+    """Reload an archive written by :func:`save_checkpoint`."""
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive[_META_KEY]))
+        version = meta.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint format_version {version!r}")
+        model_state = {
+            name[len(_MODEL_PREFIX) :]: archive[name]
+            for name in archive.files
+            if name.startswith(_MODEL_PREFIX)
+        }
+        best_model_state = None
+        if meta["has_best"]:
+            best_model_state = {
+                name[len(_BEST_PREFIX) :]: archive[name]
+                for name in archive.files
+                if name.startswith(_BEST_PREFIX)
+            }
+        optimizer_state = _rebuild_optimizer_state(meta["optimizer"], archive)
+    return TrainingCheckpoint(
+        epoch=int(meta["epoch"]),
+        model_state=model_state,
+        optimizer_state=optimizer_state,
+        rng_state=meta["rng_state"],
+        scheduler_state=meta["scheduler_state"],
+        train_losses=[float(v) for v in meta["train_losses"]],
+        val_losses=[float(v) for v in meta["val_losses"]],
+        epoch_times=[float(v) for v in meta["epoch_times"]],
+        best_val_loss=float(meta["best_val_loss"]),
+        best_epoch=int(meta["best_epoch"]),
+        bad_epochs=int(meta["bad_epochs"]),
+        best_model_state=best_model_state,
+        stopped_early=bool(meta["stopped_early"]),
+        config_fingerprint=meta.get("config_fingerprint"),
+    )

@@ -1,6 +1,4 @@
-"""Shared training loops for classifiers and sequence-to-sequence models.
-
-Three supervision regimes cover every method in the paper:
+"""The three supervision loops, built on one resumable epoch engine.
 
 * :func:`train_classifier` — window-level binary classification (CamAL's
   ResNets, Problem 1), softmax cross-entropy.
@@ -9,51 +7,34 @@ Three supervision regimes cover every method in the paper:
 * :func:`train_weak_mil` — multiple-instance learning (CRNN-weak), BCE on
   the pooled sequence logit only.
 
-All loops use Adam, optional gradient clipping, and early stopping on a
-validation loss.
+All loops share :func:`_run_epochs`: Adam/AdamW/SGD with optional LR
+schedule, gradient clipping, early stopping on a validation loss, and
+epoch-boundary checkpointing.  Resuming from a checkpoint reproduces the
+uninterrupted run's loss trajectory and final weights bit-for-bit — the
+optimizer moments, scheduler counters and every RNG stream are restored,
+so the remaining epochs replay exactly (see
+:mod:`repro.training.checkpoint`).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from . import nn
-from .nn import functional as F
-from .nn.tensor import Tensor
-
-
-@dataclass
-class TrainConfig:
-    """Hyper-parameters shared by all training loops."""
-
-    epochs: int = 20
-    batch_size: int = 64
-    lr: float = 1e-3
-    weight_decay: float = 0.0
-    patience: int = 5  # early-stopping patience in epochs (0 disables)
-    clip_grad: float = 5.0  # global-norm clip (0 disables)
-    seed: int = 0
-    verbose: bool = False
-
-
-@dataclass
-class TrainResult:
-    """Outcome of one training run."""
-
-    train_losses: List[float] = field(default_factory=list)
-    val_losses: List[float] = field(default_factory=list)
-    best_val_loss: float = float("inf")
-    best_epoch: int = -1
-    wall_time_seconds: float = 0.0
-    epoch_times: List[float] = field(default_factory=list)
-
-    @property
-    def epochs_run(self) -> int:
-        return len(self.train_losses)
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .checkpoint import (
+    TrainingCheckpoint,
+    capture_rng_state,
+    checkpoint_exists,
+    load_checkpoint,
+    restore_rng_state,
+    save_checkpoint,
+)
+from .config import TrainConfig, TrainResult
 
 
 def _iterate_batches(
@@ -69,6 +50,66 @@ def _restore_best(model: nn.Module, best_state: Optional[Dict[str, np.ndarray]])
         model.load_state_dict(best_state)
 
 
+def _build_optimizer(model: nn.Module, config: TrainConfig) -> nn.Optimizer:
+    if config.optimizer == "adam":
+        return nn.Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    if config.optimizer == "adamw":
+        return nn.AdamW(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    return nn.SGD(
+        model.parameters(), lr=config.lr, momentum=0.9, weight_decay=config.weight_decay
+    )
+
+
+def _build_scheduler(
+    optimizer: nn.Optimizer, config: TrainConfig
+) -> Optional[nn.LRScheduler]:
+    if config.scheduler == "none":
+        return None
+    if config.scheduler == "step":
+        return nn.StepLR(optimizer, step_size=config.step_size, gamma=config.gamma)
+    if config.scheduler == "cosine":
+        return nn.CosineAnnealingLR(optimizer, t_max=config.epochs, eta_min=config.eta_min)
+    return nn.WarmupCosineLR(
+        optimizer,
+        t_max=config.epochs,
+        warmup_epochs=config.warmup_epochs,
+        eta_min=config.eta_min,
+    )
+
+
+def _resume_fingerprint(config: TrainConfig) -> Dict[str, object]:
+    """The config facets that define the optimization trajectory.
+
+    A checkpoint may only be resumed under a config whose fingerprint
+    matches: continuing Adam moments under a different LR, or a cosine
+    schedule under a different horizon, would produce weights matching
+    neither the checkpointed run nor a fresh one.  ``epochs`` joins the
+    fingerprint only when the schedule's shape depends on it (cosine
+    variants), so extending a plain run with more epochs stays legal.
+    """
+    fingerprint: Dict[str, object] = {
+        "optimizer": config.optimizer,
+        "lr": config.lr,
+        "weight_decay": config.weight_decay,
+        "batch_size": config.batch_size,
+        "patience": config.patience,  # bad_epochs carries over on resume
+        "clip_grad": config.clip_grad,
+        "seed": config.seed,
+        "scheduler": config.scheduler,
+    }
+    if config.scheduler == "step":
+        fingerprint.update(step_size=config.step_size, gamma=config.gamma)
+    elif config.scheduler == "cosine":
+        fingerprint.update(eta_min=config.eta_min, epochs=config.epochs)
+    elif config.scheduler == "warmup_cosine":
+        fingerprint.update(
+            eta_min=config.eta_min,
+            warmup_epochs=config.warmup_epochs,
+            epochs=config.epochs,
+        )
+    return fingerprint
+
+
 def _run_epochs(
     model: nn.Module,
     loss_on_batch: Callable[[np.ndarray], Tensor],
@@ -76,15 +117,96 @@ def _run_epochs(
     n_train: int,
     config: TrainConfig,
 ) -> TrainResult:
-    """Generic epoch loop with early stopping; returns the loss history."""
+    """Generic epoch loop with early stopping; returns the loss history.
+
+    When ``config.checkpoint_path`` is set, a checkpoint is written at
+    every ``checkpoint_every``-th epoch boundary (and on early stop and
+    completion); with ``config.resume`` an existing checkpoint restarts
+    the loop from its last completed epoch with identical state.
+    """
     rng = np.random.default_rng(config.seed)
-    optimizer = nn.Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    optimizer = _build_optimizer(model, config)
+    scheduler = _build_scheduler(optimizer, config)
     result = TrainResult()
     best_state: Optional[Dict[str, np.ndarray]] = None
     bad_epochs = 0
+    start_epoch = 0
+    stopped_early = False
+    path = config.checkpoint_path
+    fingerprint = _resume_fingerprint(config)
+
+    if path and config.resume and checkpoint_exists(path):
+        snapshot = load_checkpoint(path)
+        if snapshot.config_fingerprint is not None:
+            saved = snapshot.config_fingerprint
+            drifted = sorted(
+                key
+                for key in set(saved) | set(fingerprint)
+                if saved.get(key) != fingerprint.get(key)
+            )
+            if drifted:
+                raise ValueError(
+                    f"checkpoint {path!r} was written under a different "
+                    f"training config (mismatched: {drifted}); resuming "
+                    f"would follow a trajectory matching neither run — "
+                    f"delete the checkpoint or match the config"
+                )
+        if snapshot.epoch > config.epochs:
+            raise ValueError(
+                f"checkpoint {path!r} already trained {snapshot.epoch} "
+                f"epochs but config.epochs={config.epochs}; shrinking a "
+                f"finished run is ambiguous — delete the checkpoint or "
+                f"raise config.epochs"
+            )
+        model.load_state_dict(snapshot.model_state)
+        try:
+            optimizer.load_state_dict(snapshot.optimizer_state)
+        except KeyError as exc:
+            # Backstop for fingerprint-less (hand-built) checkpoints.
+            raise ValueError(
+                f"checkpoint {path!r} was written by a different optimizer "
+                f"than config.optimizer={config.optimizer!r} (missing state "
+                f"entry {exc}); delete the checkpoint or match the config"
+            ) from None
+        if scheduler is not None and snapshot.scheduler_state is not None:
+            scheduler.load_state_dict(snapshot.scheduler_state)
+        restore_rng_state(snapshot.rng_state, rng, model)
+        result.train_losses = list(snapshot.train_losses)
+        result.val_losses = list(snapshot.val_losses)
+        result.epoch_times = list(snapshot.epoch_times)
+        result.best_val_loss = snapshot.best_val_loss
+        result.best_epoch = snapshot.best_epoch
+        best_state = snapshot.best_model_state
+        bad_epochs = snapshot.bad_epochs
+        start_epoch = min(snapshot.epoch, config.epochs)
+        stopped_early = snapshot.stopped_early
+        result.resumed_from_epoch = start_epoch
+
     start_time = time.perf_counter()
 
-    for epoch in range(config.epochs):
+    def _save(epochs_completed: int) -> None:
+        save_checkpoint(
+            path,
+            TrainingCheckpoint(
+                epoch=epochs_completed,
+                model_state=model.state_dict(),
+                optimizer_state=optimizer.state_dict(),
+                rng_state=capture_rng_state(rng, model),
+                scheduler_state=None if scheduler is None else scheduler.state_dict(),
+                config_fingerprint=fingerprint,
+                train_losses=result.train_losses,
+                val_losses=result.val_losses,
+                epoch_times=result.epoch_times,
+                best_val_loss=result.best_val_loss,
+                best_epoch=result.best_epoch,
+                bad_epochs=bad_epochs,
+                best_model_state=best_state,
+                stopped_early=stopped_early,
+            ),
+        )
+
+    epochs = range(start_epoch, 0 if stopped_early else config.epochs)
+    for epoch in epochs:
         epoch_start = time.perf_counter()
         model.train()
         total, batches = 0.0, 0
@@ -106,7 +228,8 @@ def _run_epochs(
         if config.verbose:
             print(
                 f"  epoch {epoch + 1}/{config.epochs} "
-                f"train={result.train_losses[-1]:.4f} val={current_val:.4f}"
+                f"train={result.train_losses[-1]:.4f} val={current_val:.4f} "
+                f"lr={optimizer.lr:.2e}"
             )
 
         if current_val < result.best_val_loss - 1e-6:
@@ -117,7 +240,17 @@ def _run_epochs(
         else:
             bad_epochs += 1
             if config.patience > 0 and bad_epochs >= config.patience:
-                break
+                stopped_early = True
+        if scheduler is not None:
+            scheduler.step()
+        if path and (
+            (epoch + 1) % config.checkpoint_every == 0
+            or stopped_early
+            or epoch + 1 == config.epochs
+        ):
+            _save(epoch + 1)
+        if stopped_early:
+            break
 
     _restore_best(model, best_state)
     result.wall_time_seconds = time.perf_counter() - start_time

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import COMMANDS, build_parser, main
+from repro.cli import COMMANDS, build_parser, build_train_parser, main
 
 
 class TestParser:
@@ -38,6 +38,52 @@ class TestParser:
         assert set(COMMANDS) == expected
 
 
+class TestTrainParser:
+    def test_defaults(self):
+        args = build_train_parser().parse_args([])
+        assert args.corpus == "ukdale"
+        assert args.appliance == "kettle"
+        assert args.workers == 1
+        assert args.scheduler == "none"
+        assert args.checkpoint_dir is None
+        assert args.out is None
+        assert not args.no_resume
+        assert not args.progress
+
+    def test_all_flags_parsed(self):
+        args = build_train_parser().parse_args(
+            [
+                "--corpus", "refit", "--appliance", "dishwasher",
+                "--preset", "fast", "--seed", "3", "--workers", "4",
+                "--epochs", "7", "--scheduler", "warmup_cosine",
+                "--warmup-epochs", "2", "--checkpoint-dir", "ckpts",
+                "--no-resume", "--out", "models/dw", "--progress",
+            ]
+        )
+        assert args.corpus == "refit"
+        assert args.appliance == "dishwasher"
+        assert args.preset == "fast"
+        assert args.seed == 3
+        assert args.workers == 4
+        assert args.epochs == 7
+        assert args.scheduler == "warmup_cosine"
+        assert args.warmup_epochs == 2
+        assert args.checkpoint_dir == "ckpts"
+        assert args.no_resume
+        assert args.out == "models/dw"
+        assert args.progress
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_train_parser().parse_args(["--scheduler", "linear"])
+
+    def test_train_not_in_experiment_commands(self):
+        """'train' routes through its own parser, not the experiment table."""
+        assert "train" not in COMMANDS
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+
 class TestExecution:
     def test_fig9_runs_fast(self, capsys):
         """fig9 is analytic (no training) so it can run in the test suite."""
@@ -51,3 +97,24 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Table II" in out
         assert "TransNILM" in out
+
+    def test_train_end_to_end(self, capsys, tmp_path):
+        """`repro train` trains, checkpoints and persists a loadable pipeline."""
+        import os
+
+        argv = [
+            "train", "--preset", "bench", "--epochs", "1",
+            "--checkpoint-dir", str(tmp_path / "ckpts"),
+            "--out", str(tmp_path / "pipeline"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Trained kettle on ukdale" in out
+        assert "pipeline saved to" in out
+        assert os.path.exists(tmp_path / "pipeline" / "manifest.json")
+        assert len(list((tmp_path / "ckpts").iterdir())) > 0
+
+        from repro.core import load_camal
+
+        camal = load_camal(str(tmp_path / "pipeline"))
+        assert len(camal.ensemble) >= 1

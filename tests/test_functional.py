@@ -74,6 +74,19 @@ class TestPooling:
         out = F.avg_pool1d(x, 2)
         assert np.allclose(out.data, [[[3.0, 7.0]]])
 
+    def test_avg_pool_ragged_tail_is_true_mean(self):
+        """Count-exclude-pad: the tail block averages only real samples
+        instead of being dragged toward zero by the padding."""
+        x = Tensor(np.array([[[2.0, 4.0, 6.0, 8.0, 10.0]]], dtype=np.float32))
+        out = F.avg_pool1d(x, 2)
+        assert np.allclose(out.data, [[[3.0, 7.0, 10.0]]])
+
+    def test_avg_pool_ragged_two_sample_tail(self):
+        x = Tensor(np.arange(1, 9, dtype=np.float32).reshape(1, 1, 8))
+        out = F.avg_pool1d(x, 3)
+        # Blocks: (1,2,3), (4,5,6), (7,8) -> means 2, 5, 7.5.
+        assert np.allclose(out.data, [[[2.0, 5.0, 7.5]]])
+
     def test_global_avg_pool(self):
         x = Tensor(np.arange(6, dtype=np.float32).reshape(1, 2, 3))
         out = F.global_avg_pool1d(x)

@@ -61,6 +61,13 @@ class TestPoolingGradients:
         m = _mask((2, 3, 4))
         check_gradients(lambda: (F.avg_pool1d(x, 2) * m).sum(), [x])
 
+    def test_avg_pool_ragged_length(self):
+        """Count-exclude-pad backward: the tail's gradient is grad/remainder
+        on the real samples and nothing leaks onto the padding."""
+        x = _t((2, 3, 7))
+        m = _mask((2, 3, 3))
+        check_gradients(lambda: (F.avg_pool1d(x, 3) * m).sum(), [x])
+
     def test_global_avg_pool(self):
         x = _t((2, 3, 7))
         m = _mask((2, 3))

@@ -95,6 +95,68 @@ class TestOptimizerBase:
         assert p.grad[0] == pytest.approx(0.5)
 
 
+class TestOptimizerStateDict:
+    """Checkpointed optimizer state must resume the exact trajectory."""
+
+    def _train(self, param, optimizer, steps):
+        for _ in range(steps):
+            loss = (param * param).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+    @pytest.mark.parametrize("factory", [
+        lambda p: nn.SGD([p], lr=0.05, momentum=0.9, weight_decay=1e-3),
+        lambda p: nn.Adam([p], lr=0.1, weight_decay=1e-3),
+        lambda p: nn.AdamW([p], lr=0.1, weight_decay=1e-2),
+    ])
+    def test_roundtrip_resumes_identically(self, factory):
+        reference = quadratic_param()
+        opt_ref = factory(reference)
+        self._train(reference, opt_ref, 10)
+
+        split = quadratic_param()
+        opt_a = factory(split)
+        self._train(split, opt_a, 4)
+        state = opt_a.state_dict()
+
+        resumed = Tensor(split.data.copy(), requires_grad=True)
+        opt_b = factory(resumed)
+        opt_b.load_state_dict(state)
+        self._train(resumed, opt_b, 6)
+        assert np.array_equal(reference.data, resumed.data)
+
+    def test_adam_step_count_in_state(self):
+        p = quadratic_param()
+        opt = nn.Adam([p], lr=0.1)
+        self._train(p, opt, 3)
+        assert opt.state_dict()["step"] == 3
+
+    def test_lr_travels_with_state(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=0.5)
+        opt.lr = 0.125  # e.g. a scheduler decayed it
+        fresh = nn.SGD([quadratic_param()], lr=0.5)
+        fresh.load_state_dict(opt.state_dict())
+        assert fresh.lr == pytest.approx(0.125)
+
+    def test_buffer_count_mismatch_rejected(self):
+        p = quadratic_param()
+        opt = nn.Adam([p], lr=0.1)
+        state = opt.state_dict()
+        state["m"] = []
+        with pytest.raises(ValueError, match="buffers"):
+            opt.load_state_dict(state)
+
+    def test_buffer_shape_mismatch_rejected(self):
+        p = quadratic_param()
+        opt = nn.Adam([p], lr=0.1)
+        state = opt.state_dict()
+        state["m"] = [np.zeros((2, 2), dtype=np.float32)]
+        with pytest.raises(ValueError, match="shape"):
+            opt.load_state_dict(state)
+
+
 class TestSchedulers:
     def test_step_lr(self):
         p = quadratic_param()
@@ -122,6 +184,58 @@ class TestSchedulers:
             sched.step()
             lrs.append(opt.lr)
         assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_warmup_cosine_ramps_then_decays(self):
+        opt = nn.SGD([quadratic_param()], lr=1.0)
+        sched = nn.WarmupCosineLR(opt, t_max=10, warmup_epochs=4, eta_min=0.1)
+        # Warmup applies immediately: epoch 0 runs at base_lr / warmup.
+        assert opt.lr == pytest.approx(0.25)
+        lrs = []
+        for _ in range(10):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs[:3] == pytest.approx([0.5, 0.75, 1.0])  # linear ramp
+        assert all(a >= b for a, b in zip(lrs[3:], lrs[4:]))  # cosine decay
+        assert lrs[-1] == pytest.approx(0.1, abs=1e-6)  # reaches the floor
+
+    def test_warmup_zero_matches_cosine(self):
+        opt_a = nn.SGD([quadratic_param()], lr=1.0)
+        opt_b = nn.SGD([quadratic_param()], lr=1.0)
+        warm = nn.WarmupCosineLR(opt_a, t_max=6, warmup_epochs=0, eta_min=0.05)
+        cosine = nn.CosineAnnealingLR(opt_b, t_max=6, eta_min=0.05)
+        for _ in range(6):
+            warm.step()
+            cosine.step()
+            assert opt_a.lr == pytest.approx(opt_b.lr)
+
+    @pytest.mark.parametrize("factory", [
+        lambda opt: nn.StepLR(opt, step_size=2, gamma=0.5),
+        lambda opt: nn.CosineAnnealingLR(opt, t_max=8, eta_min=0.01),
+        lambda opt: nn.WarmupCosineLR(opt, t_max=8, warmup_epochs=3, eta_min=0.01),
+    ])
+    def test_scheduler_state_roundtrip(self, factory):
+        opt_ref = nn.SGD([quadratic_param()], lr=1.0)
+        sched_ref = factory(opt_ref)
+        reference_lrs = []
+        for _ in range(8):
+            sched_ref.step()
+            reference_lrs.append(opt_ref.lr)
+
+        opt_a = nn.SGD([quadratic_param()], lr=1.0)
+        sched_a = factory(opt_a)
+        for _ in range(3):
+            sched_a.step()
+        state = sched_a.state_dict()
+
+        opt_b = nn.SGD([quadratic_param()], lr=1.0)
+        sched_b = factory(opt_b)
+        sched_b.load_state_dict(state)
+        assert opt_b.lr == pytest.approx(opt_a.lr)
+        resumed_lrs = list(reference_lrs[:3])
+        for _ in range(5):
+            sched_b.step()
+            resumed_lrs.append(opt_b.lr)
+        assert resumed_lrs == pytest.approx(reference_lrs)
 
 
 class TestEndToEndTraining:

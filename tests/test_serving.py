@@ -376,6 +376,78 @@ class TestInferenceEngine:
         b = plain.run(series).status("kettle")
         assert np.array_equal(a, b)
 
+    @pytest.mark.parametrize("detection_threshold", [0.4, 0.5, 0.55])
+    def test_cached_run_bit_identical_to_uncached(self, detection_threshold):
+        """Regression: every output array — including ``detected`` — of a
+        cached run must be *bit-identical* to an uncached run, on the cold
+        pass and on the all-hits pass.  The cache rows therefore carry the
+        detection decision instead of recomputing it from the cached
+        probability against whatever threshold the pipeline has later."""
+        series = self._series(n=640, seed=11)
+        camal = _camal(
+            power_gate_watts=500.0, detection_threshold=detection_threshold
+        )
+        cached = InferenceEngine(EngineConfig(window=32, stride=16, cache_size=4096))
+        cached.register("kettle", camal)
+        plain = InferenceEngine(EngineConfig(window=32, stride=16))
+        plain.register("kettle", camal)
+
+        reference = plain.run(series).per_appliance["kettle"]
+        cold = cached.run(series).per_appliance["kettle"]
+        warm = cached.run(series).per_appliance["kettle"]
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == cached.run(series).plan.n_windows
+
+        for run in (cold, warm):
+            assert run.windows.detected.dtype == reference.windows.detected.dtype
+            assert np.array_equal(run.windows.detected, reference.windows.detected)
+            assert np.array_equal(
+                run.windows.detection_proba, reference.windows.detection_proba
+            )
+            assert np.array_equal(run.windows.cam, reference.windows.cam)
+            assert np.array_equal(run.windows.soft_status, reference.windows.soft_status)
+            assert np.array_equal(run.windows.status, reference.windows.status)
+            assert np.array_equal(run.soft_status, reference.soft_status)
+            assert np.array_equal(run.status, reference.status)
+
+    def test_engine_defaults_to_pipeline_status_threshold(self):
+        """A pipeline trained with a non-0.5 soft-status threshold must be
+        stitched at *its* threshold, not a global engine default."""
+        series = self._series(n=320, seed=9)
+        camal = _camal(detection_threshold=0.0, status_threshold=0.7)
+
+        default_cfg = InferenceEngine(EngineConfig(window=32, stride=16))
+        default_cfg.register("kettle", camal)
+        explicit_same = InferenceEngine(
+            EngineConfig(window=32, stride=16, status_threshold=0.7)
+        )
+        explicit_same.register("kettle", camal)
+        old_global = InferenceEngine(
+            EngineConfig(window=32, stride=16, status_threshold=0.5)
+        )
+        old_global.register("kettle", camal)
+
+        status_default = default_cfg.run(series).status("kettle")
+        status_same = explicit_same.run(series).status("kettle")
+        status_old = old_global.run(series).status("kettle")
+        assert np.array_equal(status_default, status_same)
+        # The soft scores straddle 0.7, so imposing the old 0.5 global
+        # genuinely changes the answer — this is what used to happen.
+        assert not np.array_equal(status_default, status_old)
+
+    def test_engine_config_threshold_is_explicit_override(self):
+        series = self._series(n=320, seed=9)
+        camal = _camal(detection_threshold=0.0, status_threshold=0.7)
+        overridden = InferenceEngine(
+            EngineConfig(window=32, stride=16, status_threshold=0.9)
+        )
+        overridden.register("kettle", camal)
+        soft = overridden.run(series).per_appliance["kettle"].soft_status
+        expected = (soft >= 0.9).astype(np.float32)
+        assert np.array_equal(
+            overridden.run(series).status("kettle"), expected
+        )
+
     def test_matches_direct_localize_when_aligned(self):
         """Non-overlapping stride on an exact-multiple series reproduces
         CamAL.localize + reshape exactly."""

@@ -1,17 +1,28 @@
-"""Tests for the shared training loops (classifier / seq2seq / MIL)."""
+"""Tests for the training subsystem: loops, checkpoint/resume, parallel."""
+
+import os
 
 import numpy as np
 import pytest
 
 from repro import nn
 from repro.baselines import CRNN, CRNNConfig, TPNILM, TPNILMConfig
-from repro.core import ResNetConfig, ResNetTSC
+from repro.core import (
+    EnsembleConfig,
+    ResNetConfig,
+    ResNetTSC,
+    train_ensemble,
+    train_ensemble_parallel,
+)
 from repro.training import (
     TrainConfig,
+    checkpoint_exists,
     evaluate_classifier_loss,
     evaluate_seq2seq_loss,
+    load_checkpoint,
     predict_proba,
     predict_status_seq2seq,
+    state_dicts_equal,
     train_classifier,
     train_seq2seq,
     train_weak_mil,
@@ -107,3 +118,308 @@ class TestWeakMILLoop:
         model = CRNN(CRNNConfig(conv_channels=(4, 4, 4), hidden_size=4, seed=1))
         result = train_weak_mil(model, x, y, x, y, TrainConfig(epochs=1, patience=0))
         assert result.epochs_run == 1
+
+
+TINY_RESNET = dict(kernel_size=3, filters=(4, 8, 8), seed=0)
+
+
+def _tiny_model():
+    return ResNetTSC(ResNetConfig(**TINY_RESNET))
+
+
+_states_equal = state_dicts_equal
+
+
+class _KilledMidEpoch(RuntimeError):
+    """Raised by the flaky model to simulate a crash inside an epoch."""
+
+
+class _FlakyResNet(ResNetTSC):
+    """ResNet whose forward dies after a fixed number of calls."""
+
+    def __init__(self, config, fail_after_calls):
+        super().__init__(config)
+        self.fail_after_calls = fail_after_calls
+        self.calls = 0
+
+    def forward(self, x):
+        self.calls += 1
+        if self.calls > self.fail_after_calls:
+            raise _KilledMidEpoch(f"simulated crash at forward #{self.calls}")
+        return super().forward(x)
+
+
+class TestCheckpointResume:
+    """Resume must replay the uninterrupted run bit-for-bit."""
+
+    def _config(self, path=None, **overrides):
+        base = dict(epochs=5, batch_size=16, patience=0, lr=3e-3, seed=0)
+        base.update(overrides)
+        return TrainConfig(checkpoint_path=path, **base)
+
+    def test_kill_mid_epoch_then_resume_reproduces_run(self, tmp_path):
+        """Kill a run inside epoch 3, resume from its epoch-2 checkpoint in
+        a *fresh* process-like state (new model object): the loss history
+        and the final weights must match the uninterrupted run exactly."""
+        x, _, y = _spike_windows(n=48)
+        path = str(tmp_path / "ck.npz")
+
+        uninterrupted = _tiny_model()
+        full = train_classifier(uninterrupted, x, y, x, y, self._config())
+
+        # 48 windows / batch 16 = 3 train + 3 val forwards per epoch; dying
+        # at call 15 is mid-way through epoch 3's training batches.
+        flaky = _FlakyResNet(ResNetConfig(**TINY_RESNET), fail_after_calls=14)
+        with pytest.raises(_KilledMidEpoch):
+            train_classifier(flaky, x, y, x, y, self._config(path))
+        assert checkpoint_exists(path)
+        assert load_checkpoint(path).epoch == 2
+
+        resumed_model = _tiny_model()
+        resumed = train_classifier(resumed_model, x, y, x, y, self._config(path))
+        assert resumed.resumed_from_epoch == 2
+        assert resumed.train_losses == full.train_losses
+        assert resumed.val_losses == full.val_losses
+        assert resumed.best_epoch == full.best_epoch
+        assert _states_equal(uninterrupted.state_dict(), resumed_model.state_dict())
+
+    def test_resume_with_optimizer_and_scheduler_state(self, tmp_path):
+        """AdamW moments + warmup-cosine counters survive the round trip.
+
+        The interruption is a mid-run kill under the *same* config — with a
+        cosine-family schedule the horizon shapes the LR curve, so resuming
+        under a different ``epochs`` is (correctly) refused instead.
+        """
+        x, _, y = _spike_windows(n=32)
+        cfg = dict(
+            optimizer="adamw",
+            weight_decay=1e-2,
+            scheduler="warmup_cosine",
+            warmup_epochs=2,
+            epochs=6,
+            batch_size=16,
+        )
+        uninterrupted = _tiny_model()
+        full = train_classifier(uninterrupted, x, y, x, y, self._config(**cfg))
+
+        path = str(tmp_path / "ck.npz")
+        # 32 windows / batch 16 = 2 train + 2 val forwards per epoch; call
+        # 13 is epoch 4's first batch, so the kill lands after 3 epochs.
+        flaky = _FlakyResNet(ResNetConfig(**TINY_RESNET), fail_after_calls=12)
+        with pytest.raises(_KilledMidEpoch):
+            train_classifier(flaky, x, y, x, y, self._config(path, **cfg))
+        resumed_model = _tiny_model()
+        resumed = train_classifier(resumed_model, x, y, x, y, self._config(path, **cfg))
+        assert resumed.resumed_from_epoch == 3
+        assert resumed.train_losses == full.train_losses
+        assert resumed.val_losses == full.val_losses
+        assert _states_equal(uninterrupted.state_dict(), resumed_model.state_dict())
+
+    def test_resume_under_different_cosine_horizon_refused(self, tmp_path):
+        """epochs is part of the cosine schedule's shape: a checkpoint from
+        a t_max=3 run must not continue a t_max=6 trajectory."""
+        x, _, y = _spike_windows(n=32)
+        path = str(tmp_path / "ck.npz")
+        train_classifier(
+            _tiny_model(), x, y, x, y,
+            self._config(path, scheduler="cosine", epochs=3),
+        )
+        with pytest.raises(ValueError, match="epochs"):
+            train_classifier(
+                _tiny_model(), x, y, x, y,
+                self._config(path, scheduler="cosine", epochs=6),
+            )
+
+    def test_resume_with_fewer_epochs_than_trained_refused(self, tmp_path):
+        x, _, y = _spike_windows(n=32)
+        path = str(tmp_path / "ck.npz")
+        train_classifier(_tiny_model(), x, y, x, y, self._config(path, epochs=5))
+        with pytest.raises(ValueError, match="already trained 5 epochs"):
+            train_classifier(_tiny_model(), x, y, x, y, self._config(path, epochs=3))
+
+    def test_resume_preserves_dropout_stream(self, tmp_path):
+        """Models with Dropout resume on the same mask sequence."""
+        x, strong, _ = _spike_windows(n=32)
+        cfg = dict(epochs=4, batch_size=16, patience=0, seed=0)
+
+        uninterrupted = TPNILM(TPNILMConfig(channels=(4, 8, 8), seed=0))
+        full = train_seq2seq(uninterrupted, x, strong, x, strong, TrainConfig(**cfg))
+
+        path = str(tmp_path / "ck.npz")
+        half = TPNILM(TPNILMConfig(channels=(4, 8, 8), seed=0))
+        train_seq2seq(
+            half, x, strong, x, strong,
+            TrainConfig(checkpoint_path=path, **dict(cfg, epochs=2)),
+        )
+        resumed_model = TPNILM(TPNILMConfig(channels=(4, 8, 8), seed=0))
+        resumed = train_seq2seq(
+            resumed_model, x, strong, x, strong, TrainConfig(checkpoint_path=path, **cfg)
+        )
+        assert resumed.train_losses == full.train_losses
+        assert _states_equal(uninterrupted.state_dict(), resumed_model.state_dict())
+
+    def test_early_stop_state_travels_with_checkpoint(self, tmp_path):
+        """Resuming a run that already early-stopped must not train more."""
+        x, _, y = _spike_windows(n=32)
+        path = str(tmp_path / "ck.npz")
+        config = self._config(path, epochs=20, patience=2, lr=5e-2)
+        model = _tiny_model()
+        result = train_classifier(model, x, y, x, y, config)
+        assert result.epochs_run < 20  # must actually early-stop at this LR
+
+        resumed_model = _tiny_model()
+        resumed = train_classifier(resumed_model, x, y, x, y, config)
+        assert resumed.epochs_run == result.epochs_run  # nothing re-trained
+        assert resumed.train_losses == result.train_losses
+        assert _states_equal(model.state_dict(), resumed_model.state_dict())
+
+    def test_resume_false_ignores_checkpoint(self, tmp_path):
+        x, _, y = _spike_windows(n=32)
+        path = str(tmp_path / "ck.npz")
+        model = _tiny_model()
+        train_classifier(model, x, y, x, y, self._config(path, epochs=2))
+        fresh = _tiny_model()
+        result = train_classifier(
+            fresh, x, y, x, y, self._config(path, epochs=2, resume=False)
+        )
+        assert result.resumed_from_epoch == 0
+        assert result.epochs_run == 2
+
+    def test_checkpoint_every_skips_epochs(self, tmp_path):
+        x, _, y = _spike_windows(n=32)
+        path = str(tmp_path / "ck.npz")
+        train_classifier(
+            _tiny_model(), x, y, x, y,
+            self._config(path, epochs=3, checkpoint_every=2),
+        )
+        # Saved at epoch 2 (cadence) and at completion (epoch 3).
+        assert load_checkpoint(path).epoch == 3
+
+    def test_unknown_scheduler_or_optimizer_rejected(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            TrainConfig(scheduler="linear")
+        with pytest.raises(ValueError, match="optimizer"):
+            TrainConfig(optimizer="rmsprop")
+
+
+class TestParallelEnsemble:
+    """Worker fan-out must be invisible in the trained ensemble."""
+
+    def _data(self):
+        x, _, y = _spike_windows(n=48)
+        return x, y.astype(np.int64)
+
+    def _config(self):
+        return EnsembleConfig(
+            kernel_set=(3, 5),
+            n_trials=1,
+            n_models=2,
+            filters=(4, 8, 8),
+            train=TrainConfig(epochs=2, batch_size=16, patience=0),
+            seed=0,
+        )
+
+    def test_parallel_matches_serial_bitwise(self):
+        x, y = self._data()
+        serial, serial_candidates = train_ensemble(x, y, x, y, self._config())
+        parallel, parallel_candidates = train_ensemble_parallel(
+            x, y, x, y, self._config(), n_workers=2
+        )
+        assert [c.val_loss for c in serial_candidates] == [
+            c.val_loss for c in parallel_candidates
+        ]
+        assert serial.kernel_sizes == parallel.kernel_sizes
+        for member_s, member_p in zip(serial.models, parallel.models):
+            assert _states_equal(member_s.state_dict(), member_p.state_dict())
+
+    def test_checkpoint_dir_resumes_candidates(self, tmp_path):
+        x, y = self._data()
+        directory = str(tmp_path / "ensemble")
+        first, _ = train_ensemble(x, y, x, y, self._config(), checkpoint_dir=directory)
+        files = sorted(os.listdir(directory))
+        # candidate_i<ki>_k<ks>_t<trial>_s<seed>_d<task digest>.npz
+        assert [name.split("_d")[0] for name in files] == [
+            "candidate_i0_k3_t0_s30",
+            "candidate_i1_k5_t0_s1050",
+        ]
+        # Second run finds complete per-candidate checkpoints: no epochs are
+        # re-trained and the selected ensemble is identical.
+        second, candidates = train_ensemble(
+            x, y, x, y, self._config(), checkpoint_dir=directory
+        )
+        for member_a, member_b in zip(first.models, second.models):
+            assert _states_equal(member_a.state_dict(), member_b.state_dict())
+
+    def test_invalid_worker_count_rejected(self):
+        x, y = self._data()
+        with pytest.raises(ValueError, match="n_workers"):
+            train_ensemble(x, y, x, y, self._config(), n_workers=0)
+
+    def test_stale_checkpoint_dir_not_reused_across_seeds(self, tmp_path):
+        """A different ensemble seed must never resume another seed's
+        candidates: its checkpoint filenames embed the derived seed."""
+        import dataclasses
+
+        x, y = self._data()
+        directory = str(tmp_path / "ensemble")
+        seed0, _ = train_ensemble(x, y, x, y, self._config(), checkpoint_dir=directory)
+        config1 = dataclasses.replace(self._config(), seed=1)
+        seed1, _ = train_ensemble(x, y, x, y, config1, checkpoint_dir=directory)
+        assert len(os.listdir(directory)) == 4  # two fresh files, not reuse
+        differs = any(
+            not _states_equal(a.state_dict(), b.state_dict())
+            for a, b in zip(seed0.models, seed1.models)
+        )
+        assert differs  # seed 1 really trained its own candidates
+
+    def test_stale_checkpoint_dir_not_reused_across_datasets(self, tmp_path):
+        """Same seed, different training data (e.g. another appliance):
+        the task digest in the filename prevents silent weight reuse."""
+        x, y = self._data()
+        x2, _, y2 = _spike_windows(n=48, seed=7)
+        directory = str(tmp_path / "ensemble")
+        first, _ = train_ensemble(x, y, x, y, self._config(), checkpoint_dir=directory)
+        second, _ = train_ensemble(
+            x2, y2.astype(np.int64), x2, y2.astype(np.int64),
+            self._config(), checkpoint_dir=directory,
+        )
+        assert len(os.listdir(directory)) == 4  # no filename collision
+        differs = any(
+            not _states_equal(a.state_dict(), b.state_dict())
+            for a, b in zip(first.models, second.models)
+        )
+        assert differs  # the second task trained on its own data
+
+    def test_scheduler_mismatch_on_resume_is_clear_error(self, tmp_path):
+        x, _, y = _spike_windows(n=32)
+        path = str(tmp_path / "ck.npz")
+        train_classifier(
+            _tiny_model(), x, y, x, y,
+            TrainConfig(
+                epochs=1, batch_size=16, patience=0,
+                scheduler="cosine", checkpoint_path=path,
+            ),
+        )
+        with pytest.raises(ValueError, match="scheduler"):
+            train_classifier(
+                _tiny_model(), x, y, x, y,
+                TrainConfig(
+                    epochs=2, batch_size=16, patience=0, checkpoint_path=path,
+                ),
+            )
+
+    def test_optimizer_mismatch_on_resume_is_clear_error(self, tmp_path):
+        x, _, y = _spike_windows(n=32)
+        path = str(tmp_path / "ck.npz")
+        train_classifier(
+            _tiny_model(), x, y, x, y,
+            TrainConfig(epochs=1, batch_size=16, patience=0, checkpoint_path=path),
+        )
+        with pytest.raises(ValueError, match="optimizer"):
+            train_classifier(
+                _tiny_model(), x, y, x, y,
+                TrainConfig(
+                    epochs=2, batch_size=16, patience=0,
+                    optimizer="sgd", checkpoint_path=path,
+                ),
+            )
