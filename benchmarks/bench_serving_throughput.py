@@ -1,4 +1,5 @@
-"""Serving throughput: fused single-forward vs. legacy double-forward.
+"""Serving throughput: fused single-forward vs. legacy double-forward,
+plus a per-model sweep of the estimator registry.
 
 The fused path (:meth:`CamAL.localize` via ``forward_fused``) computes
 detection probability and CAM from one forward pass per ensemble member;
@@ -6,6 +7,11 @@ the legacy path (:func:`localize_double_forward`) runs detection and then
 re-runs the conv stack of every detected window for the CAM.  On
 detected-heavy batches — the production common case, and the worst case
 for the legacy path — fusion should approach a 2x win.
+
+The **model sweep** drives registered estimators (CamAL vs. a seq2seq
+baseline) through the same ``localize`` serving surface and emits one
+JSON row per model, so per-model serving cost is tracked alongside the
+fusion result.
 
 Run standalone for the JSON report::
 
@@ -21,6 +27,7 @@ import time
 
 import numpy as np
 
+from repro import api
 from repro.core import (
     CamAL,
     ResNetConfig,
@@ -33,6 +40,11 @@ N_WINDOWS = 48
 WINDOW_LENGTH = 128
 N_MODELS = 3
 REPEATS = 3
+
+#: Registry models swept for per-model serving rows: the paper's method
+#: against one strongly supervised seq2seq baseline.
+SWEEP_MODELS = ("camal", "tpnilm")
+SWEEP_SCALE = "tiny"
 
 
 def _build_camal() -> CamAL:
@@ -86,6 +98,42 @@ def run_benchmark() -> dict:
     }
 
 
+def _sweep_estimator(name: str) -> "api.WeakLocalizer":
+    """Build an inference-ready estimator for the sweep (untrained weights
+    — throughput only depends on the architecture)."""
+    if name == "camal":
+        return api.CamALLocalizer(pipeline=_build_camal())
+    return api.create(name, scale=SWEEP_SCALE, seed=0).eval()
+
+
+def run_model_sweep() -> list:
+    """One JSON row per registered model served through ``localize``."""
+    x = (
+        np.random.default_rng(1).random((N_WINDOWS, WINDOW_LENGTH)) * 2.0
+    ).astype(np.float32)
+    rows = []
+    for name in SWEEP_MODELS:
+        estimator = _sweep_estimator(name)
+        estimator.localize(x[:4])  # warm-up
+        seconds = _time(estimator.localize, x)
+        rows.append(
+            {
+                "model": name,
+                "scale": SWEEP_SCALE if name != "camal" else "bench",
+                "supervision": estimator.supervision,
+                "n_parameters": estimator.num_parameters(),
+                "windows_per_sec": N_WINDOWS / seconds,
+            }
+        )
+    return rows
+
+
+def run_report() -> dict:
+    result = run_benchmark()
+    result["models"] = run_model_sweep()
+    return result
+
+
 def test_serving_throughput():
     result = run_benchmark()
     print()
@@ -96,5 +144,15 @@ def test_serving_throughput():
     assert result["speedup"] >= 1.5
 
 
+def test_model_sweep_rows():
+    rows = run_model_sweep()
+    print()
+    print(json.dumps(rows, indent=2))
+    assert [row["model"] for row in rows] == list(SWEEP_MODELS)
+    for row in rows:
+        assert row["windows_per_sec"] > 0
+        assert row["n_parameters"] > 0
+
+
 if __name__ == "__main__":
-    print(json.dumps(run_benchmark(), indent=2))
+    print(json.dumps(run_report(), indent=2))

@@ -29,10 +29,16 @@ from repro.core import (
 from repro.metrics import mae
 from repro.serving import EngineConfig, InferenceEngine
 
+#: REPRO_SMOKE=1 shrinks the run to CI scale (same code paths, seconds).
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def main():
-    preset = ex.scaled(ex.get_preset("fast"), corpus_days={"ukdale": 6.0, "refit": 4.0,
-                       "ideal": 4.0, "edf_ev": 30.0, "edf_weak": 20.0})
+    if SMOKE:
+        preset = ex.smoke_preset()
+    else:
+        preset = ex.scaled(ex.get_preset("fast"), corpus_days={"ukdale": 6.0, "refit": 4.0,
+                           "ideal": 4.0, "edf_ev": 30.0, "edf_weak": 20.0})
     corpus = ex.build_corpus("ukdale", preset)
     split = sd.split_houses(corpus, seed=0)
     target_house = corpus.house(split.test[0])

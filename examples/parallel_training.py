@@ -16,11 +16,11 @@ import tempfile
 import time
 
 import repro.experiments as ex
+from repro.api import save_estimator
 from repro.core import (
     CamAL,
     ResNetConfig,
     ResNetTSC,
-    save_camal,
     train_ensemble,
     train_ensemble_parallel,
 )
@@ -28,9 +28,12 @@ from repro.training import TrainConfig, state_dicts_equal, train_classifier
 
 APPLIANCE = "kettle"
 
+#: REPRO_SMOKE=1 shrinks the run to CI scale (same code paths, seconds).
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def main():
-    preset = ex.get_preset("bench")
+    preset = ex.smoke_preset() if SMOKE else ex.get_preset("bench")
     print(f"Building UK-DALE-like corpus ({preset.corpus_days['ukdale']:.0f} days/house)...")
     corpus = ex.build_corpus("ukdale", preset)
     case = ex.case_windows(corpus, APPLIANCE, preset.window, split_seed=0)
@@ -99,7 +102,7 @@ def main():
     # -- persist for serving ------------------------------------------------
     camal = CamAL(parallel, power_gate_watts=case.spec.on_threshold_watts)
     out_dir = os.path.join(tempfile.gettempdir(), "camal_kettle_pipeline")
-    save_camal(camal, out_dir)
+    save_estimator(camal, out_dir)
     print(f"\nPipeline saved to {out_dir} (load with InferenceEngine.load)")
 
 

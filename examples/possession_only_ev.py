@@ -15,15 +15,23 @@ in the paper's words, the first truly non-intrusive load monitoring
 system.
 """
 
+import os
+
 import repro.experiments as ex
+
+#: REPRO_SMOKE=1 shrinks the run to CI scale (same code paths, seconds).
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
 
 
 def main():
-    preset = ex.scaled(
-        ex.get_preset("fast"),
-        corpus_days={"ukdale": 6.0, "refit": 4.0, "ideal": 4.0, "edf_ev": 40.0, "edf_weak": 30.0},
-        edf_weak_houses=40,
-    )
+    if SMOKE:
+        preset = ex.smoke_preset()
+    else:
+        preset = ex.scaled(
+            ex.get_preset("fast"),
+            corpus_days={"ukdale": 6.0, "refit": 4.0, "ideal": 4.0, "edf_ev": 40.0, "edf_weak": 30.0},
+            edf_weak_houses=40,
+        )
     print("Building survey corpus (possession labels only) and submetered test corpus...")
     edf_weak = ex.build_corpus("edf_weak", preset)
     edf_ev = ex.build_corpus("edf_ev", preset)
@@ -38,7 +46,11 @@ def main():
         edf_ev,
         "electric_vehicle",
         preset,
-        window_candidates=(preset.window // 2, preset.window, preset.window * 2),
+        window_candidates=(
+            (preset.window,)
+            if SMOKE
+            else (preset.window // 2, preset.window, preset.window * 2)
+        ),
         seed=0,
     )
 

@@ -13,6 +13,8 @@ Steps shown:
     (overlapping windows, stitched per-timestamp status, 100 % coverage).
 """
 
+import os
+
 import numpy as np
 
 import repro.experiments as ex
@@ -21,17 +23,23 @@ from repro.serving import EngineConfig, InferenceEngine
 
 APPLIANCE = "kettle"
 
+#: REPRO_SMOKE=1 shrinks the run to CI scale (same code paths, seconds).
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def ascii_strip(values, width=80, symbol="#"):
     """Tiny terminal sparkline: mark positions where values > 0."""
     values = np.asarray(values)
-    bins = np.array_split(values, width)
+    bins = np.array_split(values, min(width, len(values)))
     return "".join(symbol if chunk.max() > 0 else "." for chunk in bins)
 
 
 def main():
-    preset = ex.scaled(ex.get_preset("fast"), corpus_days={"ukdale": 6.0, "refit": 4.0,
-                       "ideal": 4.0, "edf_ev": 30.0, "edf_weak": 20.0})
+    if SMOKE:
+        preset = ex.smoke_preset()
+    else:
+        preset = ex.scaled(ex.get_preset("fast"), corpus_days={"ukdale": 6.0, "refit": 4.0,
+                           "ideal": 4.0, "edf_ev": 30.0, "edf_weak": 20.0})
     print(f"Building UK-DALE-like corpus ({preset.corpus_days['ukdale']:.0f} days/house)...")
     corpus = ex.build_corpus("ukdale", preset)
     case = ex.case_windows(corpus, APPLIANCE, preset.window, split_seed=0)

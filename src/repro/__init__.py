@@ -9,32 +9,46 @@ Package layout:
 * :mod:`repro.nn` — from-scratch NumPy deep-learning substrate;
 * :mod:`repro.simdata` — synthetic smart-meter corpora (Table I datasets);
 * :mod:`repro.core` — CamAL (ResNet ensemble + CAM localization);
-* :mod:`repro.serving` — batched long-series multi-appliance inference;
-* :mod:`repro.baselines` — NILM comparison methods (§V-C);
+* :mod:`repro.api` — the unified estimator API: the ``WeakLocalizer``
+  contract, the model registry with named scale presets, and generic
+  manifest persistence for CamAL *and* every baseline;
+* :mod:`repro.serving` — batched long-series multi-appliance inference
+  for any registered estimator;
+* :mod:`repro.baselines` — NILM comparison networks (§V-C);
 * :mod:`repro.metrics` — evaluation measures (§V-D) and the Fig. 9 costs;
 * :mod:`repro.experiments` — per-table/figure runners;
 * :mod:`repro.training` — training subsystem (resumable loops,
   bit-for-bit checkpoint/resume; parallel ensemble training lives in
   :mod:`repro.core.ensemble`).
 
-Quickstart::
+Quickstart — every model trains and serves through the same five verbs
+(``fit`` / ``detect`` / ``localize`` / ``save`` / ``load``)::
 
-    from repro import experiments as ex
+    from repro import api
+    import repro.experiments as ex
+
     preset = ex.get_preset("fast")
     corpus = ex.build_corpus("ukdale", preset)
     case = ex.case_windows(corpus, "kettle", preset.window)
-    result, camal = ex.run_camal(case, preset)
-    print(result.f1)
+
+    est = api.create("camal", scale="small")      # or "crnn", "tpnilm", ...
+    est.fit(case.train.inputs, est.labels_for(case.train),
+            case.val.inputs, est.labels_for(case.val))
+    status = est.predict_status(case.test.inputs)  # (N, L) binary
+    est.save("models/kettle")
+
+    same = api.load_estimator("models/kettle")     # bit-identical predictions
 """
 
 __version__ = "1.0.0"
 
-from . import baselines, core, metrics, nn, serving, simdata, training
+from . import api, baselines, core, metrics, nn, serving, simdata, training
 
 __all__ = [
     "nn",
     "simdata",
     "core",
+    "api",
     "serving",
     "baselines",
     "metrics",

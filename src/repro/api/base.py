@@ -1,0 +1,161 @@
+"""The estimator protocol: one interface for CamAL *and* every baseline.
+
+The paper's comparison (§V-C) pits CamAL against five strongly supervised
+sequence-to-sequence networks and one weak MIL variant.  Historically only
+CamAL was a first-class object; the baselines were bare ``nn.Module``s
+glued together by per-experiment code.  :class:`WeakLocalizer` is the
+shared contract that makes every method trainable, servable and
+persistable through the same five verbs:
+
+* ``fit(windows, labels, val_windows, val_labels)`` — train on windows
+  ``(N, L)``.  The *meaning* of ``labels`` follows the estimator's
+  ``supervision``: one label per window (weak) or one per timestamp
+  (strong).  Use :meth:`labels_for` to pick the right array from a
+  ``WindowSet``-like object.
+* ``detect(x)`` — window-level detection probabilities ``(N,)``
+  (Problem 1).
+* ``predict_status(x)`` / ``localize(x)`` — per-timestamp localization
+  (Problem 2); ``localize`` returns the full
+  :class:`~repro.core.localization.LocalizationOutput`.
+* ``save(directory)`` / ``load(directory)`` — manifest-based persistence
+  (see :mod:`repro.api.persistence`).
+
+Anything implementing this contract plugs into
+:class:`repro.serving.InferenceEngine` unchanged — the engine only ever
+calls ``eval()``/``localize()`` and reads ``status_threshold`` /
+``power_gate_watts``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..core.localization import LocalizationOutput
+
+#: Label granularities an estimator can train on.
+SUPERVISION_KINDS = ("weak", "strong")
+
+
+class NotFittedError(RuntimeError):
+    """Raised when a prediction method needs a trained model first."""
+
+
+class WeakLocalizer(abc.ABC):
+    """Abstract base class of every registered appliance localizer.
+
+    Subclasses set two class attributes:
+
+    * ``name`` — the registry name (``"camal"``, ``"crnn"``, ...);
+    * ``supervision`` — ``"weak"`` (one label per window) or ``"strong"``
+      (one label per timestamp).
+
+    After a successful :meth:`fit`, estimators expose:
+
+    * ``n_labels_`` — number of individual labels consumed;
+    * ``train_seconds_`` — wall-clock training time.
+    """
+
+    name: str = "abstract"
+    supervision: str = "weak"
+
+    #: Serving knobs read by the :class:`~repro.serving.InferenceEngine`.
+    status_threshold: float = 0.5
+    power_gate_watts: Optional[float] = None
+
+    def __init__(self) -> None:
+        self.n_labels_: int = 0
+        self.train_seconds_: float = 0.0
+        self._fitted = False
+
+    # -- training ---------------------------------------------------------
+    @abc.abstractmethod
+    def fit(
+        self,
+        windows: np.ndarray,
+        labels: np.ndarray,
+        val_windows: Optional[np.ndarray] = None,
+        val_labels: Optional[np.ndarray] = None,
+    ) -> "WeakLocalizer":
+        """Train on ``(N, L)`` windows; returns ``self``.
+
+        ``labels`` is ``(N,)`` for weak estimators and ``(N, L)`` for
+        strong ones.  Validation data is optional — estimators that need
+        it (model selection, early stopping) fall back to the training
+        arrays when it is omitted.
+        """
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _mark_fitted(self, n_labels: int = 0, train_seconds: float = 0.0) -> None:
+        self._fitted = True
+        self.n_labels_ = int(n_labels)
+        self.train_seconds_ = float(train_seconds)
+
+    def labels_for(self, window_set) -> np.ndarray:
+        """Pick this estimator's label array from a ``WindowSet``-like.
+
+        Weak estimators read ``.weak`` (one label per window); strong
+        estimators read ``.strong`` (one label per timestamp).  This is
+        where the weak/strong *label routing* lives, so experiment runners
+        never branch on the method again.
+        """
+        return window_set.weak if self.supervision == "weak" else window_set.strong
+
+    def label_count(self, labels: np.ndarray) -> int:
+        """How many individual annotations ``labels`` represents."""
+        labels = np.asarray(labels)
+        return len(labels) if self.supervision == "weak" else int(labels.size)
+
+    # -- inference --------------------------------------------------------
+    @abc.abstractmethod
+    def detect(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Window-level detection probabilities ``(N,)`` in ``[0, 1]``."""
+
+    @abc.abstractmethod
+    def localize(self, x: np.ndarray, batch_size: int = 256) -> LocalizationOutput:
+        """Full per-timestamp localization of windows ``(N, L)``."""
+
+    def predict_status(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Binary per-timestamp status ``ŝ(t)``, shape ``(N, L)``."""
+        return self.localize(x, batch_size).status
+
+    def eval(self) -> "WeakLocalizer":
+        """Switch the underlying network(s) to inference mode."""
+        return self
+
+    def num_parameters(self) -> int:
+        """Trainable-parameter count of the underlying network(s)."""
+        return 0
+
+    # -- persistence ------------------------------------------------------
+    @abc.abstractmethod
+    def save(self, directory: str) -> None:
+        """Persist the fitted estimator into ``directory`` (manifest layout)."""
+
+    @classmethod
+    def load(cls, directory: str) -> "WeakLocalizer":
+        """Reload any estimator saved by :meth:`save`.
+
+        Dispatches on the manifest's ``model`` key through the registry,
+        so ``WeakLocalizer.load(d)`` works for every registered type; a
+        concrete subclass narrows the result and raises ``TypeError`` when
+        the directory holds a different model.
+        """
+        from .persistence import load_estimator
+
+        estimator = load_estimator(directory)
+        if cls is not WeakLocalizer and not isinstance(estimator, cls):
+            raise TypeError(
+                f"{directory!r} holds a {type(estimator).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return estimator
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "fitted" if self._fitted else "unfitted"
+        return f"<{type(self).__name__} name={self.name!r} {state}>"

@@ -5,17 +5,22 @@ Usage::
     python -m repro table3 --preset bench
     python -m repro fig8 --preset fast
     python -m repro report --preset fast        # serving-engine demo
+    python -m repro report --model tpnilm@tiny  # serve a baseline instead
     python -m repro all --preset bench          # everything, in order
+    python -m repro models                      # list registered models
     python -m repro train --appliance kettle --workers 4 \
         --checkpoint-dir ckpts/kettle --out models/kettle
+    python -m repro train --model crnn@small --out models/kettle-crnn
 
 Each experiment subcommand prints the same rows/series the paper reports
 (see EXPERIMENTS.md for the paper-vs-measured comparison); ``report``
 trains per-appliance pipelines and serves an unseen household through the
-:class:`repro.serving.InferenceEngine`; ``train`` runs Algorithm 1 for one
-appliance — optionally across worker processes and resumable from
-per-candidate checkpoints — and persists the pipeline for
-``InferenceEngine.load`` (see ``docs/training.md``).
+:class:`repro.serving.InferenceEngine`; ``models`` lists every estimator
+in the :mod:`repro.api` registry with its scale presets; ``train`` fits
+one appliance model — CamAL (Algorithm 1, optionally across worker
+processes and resumable from per-candidate checkpoints) or any registered
+baseline via ``--model <name>@<scale>`` — and persists it for
+``InferenceEngine.load`` (see ``docs/training.md`` and ``docs/api.md``).
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from . import api
 from . import experiments as ex
 
 
@@ -126,8 +132,28 @@ def _fig10(preset: ex.Preset, seed: int) -> str:
     ).render()
 
 
-def _report(preset: ex.Preset, seed: int) -> str:
-    """DeviceScope-style household report served by the InferenceEngine."""
+def _fit_case_estimator(
+    model: str, scale: Optional[str], case: "ex.CaseData", preset: ex.Preset, seed: int
+) -> api.WeakLocalizer:
+    """Create a registry estimator for a case and fit it (weak or strong)."""
+    is_camal = api.canonical_name(model) == "camal"
+    epochs = preset.clf_epochs if is_camal else preset.seq2seq_epochs
+    estimator = api.create(
+        model,
+        scale=scale or preset.baseline_scale,
+        seed=seed,
+        train=preset.train_config(epochs, seed),
+        power_gate_watts=case.spec.on_threshold_watts,
+    )
+    return ex.fit_on_case(estimator, case)
+
+
+def _report(preset: ex.Preset, seed: int, model: Optional[str] = None) -> str:
+    """DeviceScope-style household report served by the InferenceEngine.
+
+    ``model`` is an optional registry spec (``name[@scale]``); the default
+    serves CamAL pipelines trained through :func:`ex.run_camal`.
+    """
     from . import simdata as sd
     from .core import report_from_status
     from .serving import EngineConfig, InferenceEngine
@@ -143,10 +169,14 @@ def _report(preset: ex.Preset, seed: int) -> str:
             cache_size=4096,
         )
     )
+    name, scale = api.parse_model_spec(model) if model else ("camal", None)
     for appliance in ("kettle", "dishwasher"):
         case = ex.case_windows(corpus, appliance, preset.window, split_seed=seed)
-        _, camal = ex.run_camal(case, preset, seed=seed)
-        engine.register(appliance, camal)
+        if model is None:
+            _, pipeline = ex.run_camal(case, preset, seed=seed)
+        else:
+            pipeline = _fit_case_estimator(name, scale, case, preset, seed)
+        engine.register(appliance, pipeline)
 
     aggregate = sd.forward_fill(house.aggregate, corpus.max_ffill_samples)
     aggregate = np.nan_to_num(aggregate, nan=0.0)
@@ -155,7 +185,8 @@ def _report(preset: ex.Preset, seed: int) -> str:
     plan = inference.plan
     parts = [
         f"Household {house.house_id}: {inference.n_samples} samples served as "
-        f"{plan.n_windows} windows (window={plan.window}, stride={plan.stride})"
+        f"{plan.n_windows} windows (window={plan.window}, stride={plan.stride}, "
+        f"model={name if model else 'camal'})"
     ]
     for appliance, result in inference:
         report = report_from_status(
@@ -165,6 +196,21 @@ def _report(preset: ex.Preset, seed: int) -> str:
         parts.append(report.render())
         parts.append(f"  windows detected   : {result.detection_rate:.0%}")
     return "\n".join(parts)
+
+
+def run_models_listing() -> str:
+    """Render the ``repro models`` table from the registry."""
+    rows = []
+    for name in api.available_models():
+        entry = api.get_entry(name)
+        rows.append(
+            [name, entry.supervision, "/".join(sorted(entry.scales)), entry.description]
+        )
+    return ex.render_table(
+        ["Model", "Supervision", "Scales", "Description"],
+        rows,
+        title="Registered estimators (repro.api) — use with --model <name>[@<scale>]",
+    )
 
 
 COMMANDS: Dict[str, Callable[[ex.Preset, int], str]] = {
@@ -187,9 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables and figures of the CamAL paper.",
-        epilog="additional subcommand: 'repro train [...]' — train and "
-        "persist one appliance pipeline (own flags; see 'repro train "
-        "--help' and docs/training.md)",
+        epilog="additional subcommands: 'repro train [...]' — train and "
+        "persist one appliance model (own flags; see 'repro train --help' "
+        "and docs/training.md); 'repro models' — list every registered "
+        "estimator and its scale presets (docs/api.md)",
     )
     parser.add_argument(
         "experiment",
@@ -204,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="scale preset (default: bench)",
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--model",
+        default=None,
+        metavar="NAME[@SCALE]",
+        help="registry model served by the 'report' command "
+        "(default: camal; see 'repro models')",
+    )
     return parser
 
 
@@ -213,11 +267,19 @@ def build_train_parser() -> argparse.ArgumentParser:
 
     parser = argparse.ArgumentParser(
         prog="repro train",
-        description="Train a CamAL pipeline (Algorithm 1) for one appliance "
-        "and persist it for InferenceEngine.load.",
+        description="Train one appliance model — CamAL (Algorithm 1, the "
+        "default) or any registered estimator — and persist it for "
+        "InferenceEngine.load.",
     )
     parser.add_argument("--corpus", default="ukdale", help="corpus name (default: ukdale)")
     parser.add_argument("--appliance", default="kettle", help="target appliance")
+    parser.add_argument(
+        "--model",
+        default="camal",
+        metavar="NAME[@SCALE]",
+        help="registry model to train (default: camal; scale defaults to "
+        "the preset's baseline scale — see 'repro models')",
+    )
     parser.add_argument(
         "--preset",
         default="bench",
@@ -260,7 +322,8 @@ def build_train_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out",
         default=None,
-        help="directory to persist the trained pipeline (save_camal layout)",
+        help="directory to persist the trained model (manifest layout, "
+        "loadable with repro.api.load_estimator / InferenceEngine.load)",
     )
     parser.add_argument(
         "--progress",
@@ -270,17 +333,23 @@ def build_train_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_train(args: argparse.Namespace) -> str:
-    """Execute ``repro train`` and return the human-readable summary."""
+def _run_train_camal(
+    args: argparse.Namespace,
+    case: "ex.CaseData",
+    preset: ex.Preset,
+    scale: Optional[str],
+) -> str:
+    """``repro train`` for CamAL: Algorithm 1 with workers + checkpoints."""
     from dataclasses import replace
 
-    from .core import CamAL, save_camal, train_ensemble
-
-    preset = ex.get_preset(args.preset)
-    corpus = ex.build_corpus(args.corpus, preset, args.seed)
-    case = ex.case_windows(corpus, args.appliance, preset.window, split_seed=args.seed)
+    from .core import CamAL, train_ensemble
 
     config = preset.ensemble_config(args.seed)
+    if scale is not None:
+        # Named registry scale overrides the preset's ensemble shape; the
+        # preset keeps supplying the training-loop settings.
+        shaped = api.get_entry("camal").config(scale=scale, seed=args.seed)
+        config = replace(shaped, train=config.train)
     train_cfg = replace(
         config.train,
         epochs=args.epochs if args.epochs is not None else config.train.epochs,
@@ -305,7 +374,7 @@ def run_train(args: argparse.Namespace) -> str:
 
     camal = CamAL(ensemble, power_gate_watts=case.spec.on_threshold_watts)
     lines = [
-        f"Trained {args.appliance} on {args.corpus} "
+        f"Trained camal for {args.appliance} on {args.corpus} "
         f"(preset={preset.name}, workers={max(args.workers, 1)})",
         f"  candidates        : {len(candidates)} "
         f"(kernels {tuple(config.kernel_set)}, {config.n_trials} trial(s) each)",
@@ -317,9 +386,76 @@ def run_train(args: argparse.Namespace) -> str:
     if args.checkpoint_dir:
         lines.append(f"  checkpoints       : {args.checkpoint_dir}")
     if args.out:
-        save_camal(camal, args.out)
+        # Wrap in the estimator so the manifest records label consumption.
+        estimator = api.CamALLocalizer(pipeline=camal)
+        estimator.n_labels_ = len(case.train.weak)
+        estimator.save(args.out)
         lines.append(f"  pipeline saved to : {args.out}")
     return "\n".join(lines)
+
+
+def _run_train_estimator(
+    name: str,
+    scale: Optional[str],
+    args: argparse.Namespace,
+    case: "ex.CaseData",
+    preset: ex.Preset,
+) -> str:
+    """``repro train`` for any non-CamAL registry model."""
+    import os
+    from dataclasses import replace
+
+    scale = scale or preset.baseline_scale
+    train_cfg = preset.train_config(preset.seq2seq_epochs, args.seed)
+    train_cfg = replace(
+        train_cfg,
+        epochs=args.epochs if args.epochs is not None else train_cfg.epochs,
+        scheduler=args.scheduler,
+        warmup_epochs=args.warmup_epochs,
+        resume=not args.no_resume,
+        verbose=args.progress,
+        checkpoint_path=(
+            os.path.join(args.checkpoint_dir, f"{name}.npz")
+            if args.checkpoint_dir
+            else None
+        ),
+    )
+    estimator = api.create(
+        name,
+        scale=scale,
+        seed=args.seed,
+        train=train_cfg,
+        power_gate_watts=case.spec.on_threshold_watts,
+    )
+    ex.fit_on_case(estimator, case)
+    lines = [
+        f"Trained {name}@{scale} for {args.appliance} on {args.corpus} "
+        f"(preset={preset.name}, supervision={estimator.supervision})",
+        f"  parameters        : {estimator.num_parameters()}",
+        f"  labels consumed   : {estimator.n_labels_} "
+        f"({'one per window' if estimator.supervision == 'weak' else 'one per timestamp'})",
+        f"  wall time         : {estimator.train_seconds_:.1f}s",
+    ]
+    if args.workers > 1:
+        lines.append("  note              : --workers applies to CamAL only")
+    if args.checkpoint_dir:
+        lines.append(f"  checkpoints       : {args.checkpoint_dir}")
+    if args.out:
+        estimator.save(args.out)
+        lines.append(f"  estimator saved to: {args.out}")
+    return "\n".join(lines)
+
+
+def run_train(args: argparse.Namespace) -> str:
+    """Execute ``repro train`` and return the human-readable summary."""
+    preset = ex.get_preset(args.preset)
+    corpus = ex.build_corpus(args.corpus, preset, args.seed)
+    case = ex.case_windows(corpus, args.appliance, preset.window, split_seed=args.seed)
+
+    name, scale = api.parse_model_spec(args.model)
+    if name == "camal":
+        return _run_train_camal(args, case, preset, scale)
+    return _run_train_estimator(name, scale, args, case, preset)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -327,12 +463,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "train":
         print(run_train(build_train_parser().parse_args(argv[1:])))
         return 0
+    if argv and argv[0] == "models":
+        print(run_models_listing())
+        return 0
     args = build_parser().parse_args(argv)
     preset = ex.get_preset(args.preset)
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(f"== {name} (preset={preset.name}) ==")
-        print(COMMANDS[name](preset, args.seed))
+        if name == "report" and args.model:
+            print(_report(preset, args.seed, model=args.model))
+        else:
+            print(COMMANDS[name](preset, args.seed))
         print()
     return 0
 

@@ -87,9 +87,11 @@ class CamAL:
         self.status_threshold = status_threshold
 
     # -- Problem 1 --------------------------------------------------------
-    def detect(self, x: np.ndarray) -> np.ndarray:
+    def detect(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Window-level detection probabilities ``(N,)``."""
-        return self.ensemble.predict_proba(np.asarray(x, dtype=np.float32))
+        return self.ensemble.predict_proba(
+            np.asarray(x, dtype=np.float32), batch_size
+        )
 
     # -- Problem 2 --------------------------------------------------------
     def localize(self, x: np.ndarray, batch_size: int = 256) -> LocalizationOutput:
@@ -131,6 +133,11 @@ class CamAL:
     def predict_status(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Binary per-timestamp status ``ŝ(t)``, shape ``(N, L)``."""
         return self.localize(x, batch_size).status
+
+    def eval(self) -> "CamAL":
+        """Switch every ensemble member to inference mode."""
+        self.ensemble.eval()
+        return self
 
 
 def localize_double_forward(

@@ -4,13 +4,20 @@ A trained pipeline is a directory containing one ``member_<i>.npz`` state
 archive per ensemble ResNet plus a ``manifest.json`` describing each
 member's architecture and the pipeline's localization settings, so a
 pipeline can be reloaded without re-running Algorithm 1.
+
+.. deprecated::
+    ``save_camal`` / ``load_camal`` are legacy entry points kept as thin
+    shims.  New code should go through :mod:`repro.api.persistence`
+    (``save_estimator`` / ``load_estimator``), which handles CamAL *and*
+    every registered baseline behind one manifest format.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional
+import warnings
+from typing import Dict, List, Optional, Tuple
 
 from ..nn.serialization import load_state, save_state
 from .ensemble import ResNetEnsemble
@@ -21,12 +28,16 @@ MANIFEST_NAME = "manifest.json"
 _FORMAT_VERSION = 1
 
 
-def save_camal(camal: CamAL, directory: str) -> None:
+def _write_camal(camal: CamAL, directory: str, n_labels: int = 0) -> None:
     """Persist a trained CamAL pipeline into ``directory``.
 
     Writes ``manifest.json`` plus one ``member_<i>.npz`` per ensemble
     member.  The directory is created if needed; existing member files are
-    overwritten.
+    overwritten.  The manifest carries ``model: "camal"`` so the generic
+    :func:`repro.api.persistence.load_estimator` can dispatch on it, while
+    ``format_version`` stays 1 for the legacy loader; ``n_labels`` records
+    the estimator's label consumption so a reloaded pipeline keeps its
+    annotation accounting.
     """
     os.makedirs(directory, exist_ok=True)
     members = []
@@ -46,18 +57,20 @@ def save_camal(camal: CamAL, directory: str) -> None:
         )
     manifest = {
         "format_version": _FORMAT_VERSION,
+        "model": "camal",
         "detection_threshold": camal.detection_threshold,
         "use_attention": camal.use_attention,
         "power_gate_watts": camal.power_gate_watts,
         "status_threshold": camal.status_threshold,
+        "n_labels": int(n_labels),
         "members": members,
     }
     with open(os.path.join(directory, MANIFEST_NAME), "w") as handle:
         json.dump(manifest, handle, indent=2)
 
 
-def load_camal(directory: str) -> CamAL:
-    """Reload a pipeline saved by :func:`save_camal`."""
+def _read_camal(directory: str) -> CamAL:
+    """Reload a pipeline saved by :func:`_write_camal` / ``save_camal``."""
     manifest_path = os.path.join(directory, MANIFEST_NAME)
     if not os.path.exists(manifest_path):
         raise FileNotFoundError(f"no {MANIFEST_NAME} in {directory!r}")
@@ -92,26 +105,101 @@ def load_camal(directory: str) -> CamAL:
     )
 
 
+def save_camal(camal: CamAL, directory: str) -> None:
+    """Deprecated shim for :func:`repro.api.persistence.save_estimator`.
+
+    Behavior is identical to the original ``save_camal``; only the entry
+    point moved.
+    """
+    warnings.warn(
+        "save_camal is deprecated; use repro.api.save_estimator (or the "
+        "estimator's own .save()) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _write_camal(camal, directory)
+
+
+def load_camal(directory: str) -> CamAL:
+    """Deprecated shim for :func:`repro.api.persistence.load_estimator`.
+
+    Still returns the raw :class:`CamAL`; the generic loader returns a
+    :class:`repro.api.CamALLocalizer` wrapping the same pipeline.
+    """
+    warnings.warn(
+        "load_camal is deprecated; use repro.api.load_estimator instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _read_camal(directory)
+
+
 def save_pipelines(pipelines: Dict[str, CamAL], root: str) -> None:
-    """Persist a fleet of per-appliance pipelines under ``root/<appliance>/``."""
+    """Persist a fleet of per-appliance pipelines under ``root/<appliance>/``.
+
+    Accepts raw :class:`CamAL` pipelines; for mixed-model fleets use the
+    generic :func:`repro.api.persistence.save_pipelines`.
+    """
     for appliance, camal in pipelines.items():
-        save_camal(camal, os.path.join(root, appliance))
+        _write_camal(camal, os.path.join(root, appliance))
+
+
+def scan_pipeline_root(root: str) -> Tuple[List[Tuple[str, str]], List[str]]:
+    """Find the loadable estimator directories under a fleet root.
+
+    Returns ``(entries, skipped)`` where ``entries`` is a sorted list of
+    ``(name, directory)`` pairs holding a ``manifest.json`` and
+    ``skipped`` describes every stray file or manifest-less directory.
+    Shared by this module's :func:`load_pipelines` and the generic
+    :func:`repro.api.persistence.load_pipelines`.
+    """
+    if not os.path.isdir(root):
+        raise FileNotFoundError(f"no pipeline directory at {root!r}")
+    entries: List[Tuple[str, str]] = []
+    skipped: List[str] = []
+    for name in sorted(os.listdir(root)):
+        directory = os.path.join(root, name)
+        if not os.path.isdir(directory):
+            skipped.append(f"{name} (not a directory)")
+            continue
+        if not os.path.isfile(os.path.join(directory, MANIFEST_NAME)):
+            skipped.append(f"{name} (no {MANIFEST_NAME})")
+            continue
+        entries.append((name, directory))
+    return entries, skipped
+
+
+def warn_skipped_pipelines(root: str, skipped: List[str]) -> None:
+    """Report (once) what :func:`scan_pipeline_root` refused to load."""
+    if skipped:
+        warnings.warn(
+            f"load_pipelines skipped {len(skipped)} non-pipeline "
+            f"entr{'y' if len(skipped) == 1 else 'ies'} under {root!r}: "
+            + ", ".join(skipped),
+            UserWarning,
+            stacklevel=3,
+        )
 
 
 def load_pipelines(root: str) -> Dict[str, CamAL]:
-    """Load every ``save_camal`` directory under ``root`` keyed by its name.
+    """Load every CamAL directory under ``root`` keyed by its name.
 
     This is the deployment layout consumed by
     :meth:`repro.serving.InferenceEngine.load`: one subdirectory per
     appliance, each holding a ``manifest.json`` plus member archives.
-    Non-pipeline entries (files, directories without a manifest) are
-    skipped.
+    Stray files and manifest-less directories are skipped and reported
+    with a single ``UserWarning`` instead of aborting mid-load.  Fleets
+    that mix in non-CamAL estimators load through the generic
+    :func:`repro.api.persistence.load_pipelines` instead.
     """
-    if not os.path.isdir(root):
-        raise FileNotFoundError(f"no pipeline directory at {root!r}")
+    entries, skipped = scan_pipeline_root(root)
     pipelines: Dict[str, CamAL] = {}
-    for name in sorted(os.listdir(root)):
-        directory = os.path.join(root, name)
-        if os.path.isfile(os.path.join(directory, MANIFEST_NAME)):
-            pipelines[name] = load_camal(directory)
+    for name, directory in entries:
+        try:
+            pipelines[name] = _read_camal(directory)
+        except (KeyError, ValueError, OSError) as exc:
+            # Unsupported format, corrupt manifest/archive: report and
+            # keep loading the rest of the fleet.
+            skipped.append(f"{name} ({exc})")
+    warn_skipped_pipelines(root, skipped)
     return pipelines

@@ -25,7 +25,17 @@ from .ablations import (
 )
 from .augmentation import Figure10Result, run_figure10
 from .complexity import ComplexityResult, run_complexity_table
-from .config import BENCH, FAST, PAPER, PRESETS, Preset, TABLE3_CASES, get_preset, scaled
+from .config import (
+    BENCH,
+    FAST,
+    PAPER,
+    PRESETS,
+    Preset,
+    TABLE3_CASES,
+    get_preset,
+    scaled,
+    smoke_preset,
+)
 from .correlation import CorrelationResult, run_correlation
 from .cost_analysis import CostResult, run_cost_analysis
 from .label_sweep import LabelSweepResult, run_label_sweep
@@ -42,11 +52,14 @@ from .runner import (
     CaseResult,
     build_corpus,
     case_windows,
+    create_model,
     evaluate_status,
+    fit_on_case,
     house_windows,
     make_baseline,
     run_baseline,
     run_camal,
+    run_model,
 )
 from .scalability import (
     EpochTimeResult,
@@ -67,6 +80,7 @@ __all__ = [
     "BENCH",
     "get_preset",
     "scaled",
+    "smoke_preset",
     "TABLE3_CASES",
     "BASELINE_NAMES",
     "CaseData",
@@ -74,6 +88,9 @@ __all__ = [
     "build_corpus",
     "case_windows",
     "house_windows",
+    "create_model",
+    "fit_on_case",
+    "run_model",
     "make_baseline",
     "run_camal",
     "run_baseline",

@@ -18,7 +18,8 @@ from ..core import CamAL, generate_soft_labels, mix_strong_and_soft
 from ..training import predict_status_seq2seq, train_seq2seq
 from .config import Preset
 from .reporting import render_series
-from .runner import CaseData, evaluate_status, house_windows, make_baseline
+from .. import api
+from .runner import CaseData, evaluate_status, house_windows
 
 
 @dataclass
@@ -118,7 +119,7 @@ def run_figure10(
                 mixed_points.append((n_strong, n_soft, float("nan")))
                 continue
 
-            model = make_baseline(method, preset.baseline_scale, seed)
+            model = api.create(method, scale=preset.baseline_scale, seed=seed).network
             train_seq2seq(
                 model, x_mix, s_mix, val_pool.inputs, val_pool.strong,
                 preset.train_config(preset.seq2seq_epochs, seed),
@@ -130,7 +131,9 @@ def run_figure10(
 
             # Strong-only reference: same strong houses, no soft windows.
             if len(strong_x) > 0:
-                ref = make_baseline(method, preset.baseline_scale, seed)
+                ref = api.create(
+                    method, scale=preset.baseline_scale, seed=seed
+                ).network
                 train_seq2seq(
                     ref, strong_x, strong_s, val_pool.inputs, val_pool.strong,
                     preset.train_config(preset.seq2seq_epochs, seed),

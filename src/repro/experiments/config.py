@@ -141,3 +141,26 @@ def get_preset(name: str) -> Preset:
 def scaled(preset: Preset, **overrides) -> Preset:
     """Copy a preset with field overrides (e.g. fewer epochs for sweeps)."""
     return replace(preset, **overrides)
+
+
+def smoke_preset(**overrides) -> Preset:
+    """A minimal preset for CI smoke runs (``REPRO_SMOKE=1`` in examples).
+
+    Same code paths as ``bench``, scaled down until every example finishes
+    in seconds; never used for reported numbers.
+    """
+    fields = dict(
+        corpus_days={
+            "ukdale": 3.0,
+            "refit": 2.0,
+            "ideal": 2.0,
+            "edf_ev": 16.0,
+            "edf_weak": 12.0,
+        },
+        ideal_possession_houses=12,
+        edf_weak_houses=16,
+        clf_epochs=2,
+        seq2seq_epochs=2,
+    )
+    fields.update(overrides)
+    return scaled(BENCH, **fields)

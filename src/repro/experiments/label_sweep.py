@@ -18,7 +18,7 @@ import numpy as np
 from .. import simdata as sd
 from .config import Preset
 from .reporting import render_series
-from .runner import CaseData, case_windows, build_corpus, run_baseline, run_camal
+from .runner import CaseData, case_windows, build_corpus, run_camal, run_model
 
 
 @dataclass
@@ -104,7 +104,7 @@ def run_label_sweep(
             if method == "CamAL":
                 res, _ = run_camal(sub_case, preset, seed=seed)
             else:
-                res = run_baseline(method, sub_case, preset, seed=seed)
+                res = run_model(method, sub_case, preset, seed=seed)
             result.curves.setdefault(method, []).append(
                 SweepPoint(n_labels=res.n_labels, f1=res.f1)
             )

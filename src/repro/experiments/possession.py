@@ -184,7 +184,7 @@ def run_figure8(
     seed: int = 0,
 ) -> Figure8Result:
     """Compare the three label granularities on one case (Fig. 8)."""
-    from .runner import run_baseline, run_camal
+    from .runner import run_camal, run_model
 
     rows: List[Tuple[str, str, float, int]] = []
 
@@ -204,9 +204,9 @@ def run_figure8(
     per_window, _ = run_camal(case, preset, seed=seed)
     rows.append(("CamAL", "subsequence", per_window.f1, per_window.n_labels))
 
-    crnn_weak = run_baseline("CRNN-weak", case, preset, seed=seed)
+    crnn_weak = run_model("CRNN-weak", case, preset, seed=seed)
     rows.append(("CRNN-weak", "subsequence", crnn_weak.f1, crnn_weak.n_labels))
 
-    strong = run_baseline("CRNN", case, preset, seed=seed)
+    strong = run_model("CRNN", case, preset, seed=seed)
     rows.append(("CRNN", "timestamp", strong.f1, strong.n_labels))
     return Figure8Result(rows=rows)

@@ -8,24 +8,20 @@ applied to *all* baselines) stay identical across experiments.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from .. import baselines as bl
+from .. import api
 from .. import simdata as sd
-from ..core import CamAL, EnsembleConfig, estimate_power, train_ensemble
+from ..core import CamAL, estimate_power, train_ensemble
 from ..metrics import balanced_accuracy, f1_score, mae, matching_ratio, precision_score, recall_score, rmse
-from ..training import (
-    TrainConfig,
-    predict_status_seq2seq,
-    train_seq2seq,
-    train_weak_mil,
-)
 from .config import Preset
 
-#: Baseline name -> (supervision, factory(scale, window, seed) -> model).
+#: Legacy spellings of the §V-C comparison methods (registry names are the
+#: lower-cased versions; both work everywhere a method name is accepted).
 BASELINE_NAMES = ("CRNN", "CRNN-weak", "BiGRU", "UNet-NILM", "TPNILM", "TransNILM")
 
 
@@ -215,78 +211,80 @@ def run_camal(
 
 
 # ----------------------------------------------------------------------
-# Baselines
+# Baselines (registry-backed)
 # ----------------------------------------------------------------------
-_SCALES: Dict[str, Dict[str, Callable[[int, int], object]]] = {}
+def create_model(
+    name: str, preset: Preset, seed: int = 0, **kwargs
+) -> api.WeakLocalizer:
+    """Instantiate an unfitted estimator at the preset's baseline scale.
+
+    Thin registry lookup: the scale presets (``paper`` = Table II sizes,
+    ``small``, ``tiny``) live in :mod:`repro.api.adapters`, the training
+    loop settings come from the preset.
+    """
+    train = preset.train_config(preset.seq2seq_epochs, seed)
+    return api.create(
+        name, scale=preset.baseline_scale, seed=seed, train=train, **kwargs
+    )
+
+
+def fit_on_case(estimator: api.WeakLocalizer, case: CaseData) -> api.WeakLocalizer:
+    """Fit an estimator on a case's train/val pools; returns it fitted.
+
+    The weak/strong label routing lives in the estimator adapter
+    (:meth:`~repro.api.WeakLocalizer.labels_for`), so this is the whole
+    ritual — shared by :func:`run_model` and the CLI.
+    """
+    return estimator.fit(
+        case.train.inputs,
+        estimator.labels_for(case.train),
+        case.val.inputs,
+        estimator.labels_for(case.val),
+    )
+
+
+def run_model(
+    name: str,
+    case: CaseData,
+    preset: Preset,
+    seed: int = 0,
+) -> CaseResult:
+    """Train one registered model on the case and evaluate localization.
+
+    Any registry name works, in legacy (``"CRNN-weak"``) or canonical
+    (``"crnn-weak"``) spelling; ``"CamAL"`` routes to :func:`run_camal`
+    so the ensemble uses the preset's Algorithm-1 configuration.
+    """
+    if api.canonical_name(name) == "camal":
+        result, _ = run_camal(case, preset, seed=seed)
+        return result
+    estimator = fit_on_case(create_model(name, preset, seed), case)
+    status = estimator.predict_status(case.test.inputs)
+    return evaluate_status(
+        name, case, status, estimator.train_seconds_, estimator.n_labels_
+    )
 
 
 def make_baseline(name: str, scale: str, seed: int = 0):
-    """Instantiate a baseline model at the given width scale.
+    """Deprecated: instantiate a bare baseline network at a width scale.
 
-    ``scale`` is one of ``paper`` (Table II sizes), ``small`` or ``tiny``
-    (CPU-friendly widths for the fast/bench presets).
+    Use ``repro.api.create(name, scale=...)`` instead; this shim keeps the
+    historical behavior (returns the raw ``nn.Module``) on top of the
+    registry's scale presets.
     """
-    if scale == "paper":
-        table = {
-            "CRNN": lambda: bl.CRNN(bl.CRNNConfig(seed=seed)),
-            "CRNN-weak": lambda: bl.CRNN(bl.CRNNConfig(seed=seed)),
-            "BiGRU": lambda: bl.BiGRUNILM(bl.BiGRUConfig(seed=seed)),
-            "UNet-NILM": lambda: bl.UNetNILM(bl.UNetConfig(seed=seed)),
-            "TPNILM": lambda: bl.TPNILM(bl.TPNILMConfig(seed=seed)),
-            "TransNILM": lambda: bl.TransNILM(bl.TransNILMConfig(seed=seed)),
-        }
-    elif scale == "small":
-        table = {
-            "CRNN": lambda: bl.CRNN(
-                bl.CRNNConfig(conv_channels=(16, 32, 32), hidden_size=32, seed=seed)
-            ),
-            "CRNN-weak": lambda: bl.CRNN(
-                bl.CRNNConfig(conv_channels=(16, 32, 32), hidden_size=32, seed=seed)
-            ),
-            "BiGRU": lambda: bl.BiGRUNILM(
-                bl.BiGRUConfig(conv_channels=16, hidden_size=24, seed=seed)
-            ),
-            "UNet-NILM": lambda: bl.UNetNILM(
-                bl.UNetConfig(channels=(8, 16, 32), bottleneck=64, seed=seed)
-            ),
-            "TPNILM": lambda: bl.TPNILM(
-                bl.TPNILMConfig(channels=(16, 32, 64), seed=seed)
-            ),
-            "TransNILM": lambda: bl.TransNILM(
-                bl.TransNILMConfig(
-                    embed_dim=32, num_heads=4, num_layers=1, ff_dim=64, seed=seed
-                )
-            ),
-        }
-    elif scale == "tiny":
-        table = {
-            "CRNN": lambda: bl.CRNN(
-                bl.CRNNConfig(conv_channels=(8, 16, 16), hidden_size=16, seed=seed)
-            ),
-            "CRNN-weak": lambda: bl.CRNN(
-                bl.CRNNConfig(conv_channels=(8, 16, 16), hidden_size=16, seed=seed)
-            ),
-            "BiGRU": lambda: bl.BiGRUNILM(
-                bl.BiGRUConfig(conv_channels=8, hidden_size=12, seed=seed)
-            ),
-            "UNet-NILM": lambda: bl.UNetNILM(
-                bl.UNetConfig(channels=(8, 16, 16), bottleneck=32, seed=seed)
-            ),
-            "TPNILM": lambda: bl.TPNILM(
-                bl.TPNILMConfig(channels=(8, 16, 32), seed=seed)
-            ),
-            "TransNILM": lambda: bl.TransNILM(
-                bl.TransNILMConfig(
-                    embed_dim=16, num_heads=2, num_layers=1, ff_dim=32, seed=seed
-                )
-            ),
-        }
-    else:
-        raise KeyError(f"unknown baseline scale {scale!r}")
-    try:
-        return table[name]()
-    except KeyError:
-        raise KeyError(f"unknown baseline {name!r}; known: {BASELINE_NAMES}") from None
+    warnings.warn(
+        "make_baseline is deprecated; use repro.api.create(name, scale=...) "
+        "(the returned estimator exposes the bare module as .network)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    estimator = api.create(name, scale=scale, seed=seed)
+    network = getattr(estimator, "network", None)
+    if network is None:
+        # Historical behavior: names without a bare network (CamAL) were
+        # never baselines and raised KeyError.
+        raise KeyError(f"unknown baseline {name!r}; known: {BASELINE_NAMES}")
+    return network
 
 
 def run_baseline(
@@ -295,28 +293,15 @@ def run_baseline(
     preset: Preset,
     seed: int = 0,
 ) -> CaseResult:
-    """Train one baseline on the case and evaluate localization.
+    """Deprecated: train one baseline on the case and evaluate localization.
 
-    ``CRNN-weak`` trains with one label per window (MIL); all other
-    baselines are strongly supervised (one label per timestamp).
+    Thin shim over :func:`run_model`, which produces identical results
+    through the registry-backed estimator API.
     """
-    model = make_baseline(name, preset.baseline_scale, seed)
-    weak = name == "CRNN-weak"
-    config = preset.train_config(preset.seq2seq_epochs, seed)
-
-    start = time.perf_counter()
-    if weak:
-        train_weak_mil(
-            model, case.train.inputs, case.train.weak, case.val.inputs, case.val.weak, config
-        )
-        n_labels = len(case.train.weak)
-    else:
-        train_seq2seq(
-            model, case.train.inputs, case.train.strong, case.val.inputs, case.val.strong, config
-        )
-        n_labels = case.train.strong.size
-    train_seconds = time.perf_counter() - start
-
-    model.eval()
-    status = predict_status_seq2seq(model, case.test.inputs)
-    return evaluate_status(name, case, status, train_seconds, n_labels)
+    warnings.warn(
+        "run_baseline is deprecated; use run_model (identical results via "
+        "the repro.api registry)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_model(name, case, preset, seed)

@@ -22,7 +22,8 @@ from ..nn.tensor import Tensor
 from ..training import predict_status_seq2seq
 from .config import Preset
 from .reporting import render_series, render_table
-from .runner import make_baseline, run_baseline, run_camal, case_windows, build_corpus
+from .. import api
+from .runner import run_model, case_windows, build_corpus
 
 
 # ----------------------------------------------------------------------
@@ -59,10 +60,7 @@ def run_training_times(
             corpora[corpus_name] = build_corpus(corpus_name, preset, seed)
         case = case_windows(corpora[corpus_name], appliance, preset.window, split_seed=seed)
         for method in methods:
-            if method == "CamAL":
-                result, _ = run_camal(case, preset, seed=seed)
-            else:
-                result = run_baseline(method, case, preset, seed=seed)
+            result = run_model(method, case, preset, seed=seed)
             times[method].append(result.train_seconds)
     return TrainingTimeResult(
         seconds_per_method={m: float(np.mean(ts)) for m, ts in times.items()}
@@ -131,7 +129,9 @@ def run_epoch_times(
                     )
                 )
             else:
-                model = make_baseline(method, preset.baseline_scale, seed)
+                model = api.create(
+                    method, scale=preset.baseline_scale, seed=seed
+                ).network
             optimizer = nn.Adam(model.parameters(), lr=1e-3)
             start = time.perf_counter()
             for begin in range(0, len(x), batch_size):
@@ -210,7 +210,9 @@ def run_throughput(
                 camal.localize(x)
                 elapsed = time.perf_counter() - start
             else:
-                model = make_baseline(method, preset.baseline_scale, seed)
+                model = api.create(
+                    method, scale=preset.baseline_scale, seed=seed
+                ).network
                 model.eval()
                 start = time.perf_counter()
                 predict_status_seq2seq(model, x)

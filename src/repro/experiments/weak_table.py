@@ -14,7 +14,7 @@ import numpy as np
 
 from .config import TABLE3_CASES, Preset
 from .reporting import render_table
-from .runner import CaseResult, build_corpus, case_windows, run_baseline, run_camal
+from .runner import CaseResult, build_corpus, case_windows, run_camal, run_model
 
 
 @dataclass
@@ -76,5 +76,5 @@ def run_weak_table(
         case = case_windows(corpora[corpus_name], appliance, preset.window, split_seed=seed)
         camal_result, _ = run_camal(case, preset, seed=seed)
         camal_rows.append(camal_result)
-        crnn_rows.append(run_baseline("CRNN-weak", case, preset, seed=seed))
+        crnn_rows.append(run_model("CRNN-weak", case, preset, seed=seed))
     return WeakTableResult(camal=camal_rows, crnn_weak=crnn_rows)

@@ -7,8 +7,14 @@ workload shape for deployment:
 * the aggregate is scaled and windowed **once** (a
   :class:`~repro.serving.windowing.SlidingWindowPlan`), and every
   registered appliance pipeline runs over that shared window batch;
-* each :class:`~repro.core.CamAL` runs its fused single-forward
-  localization in micro-batches of ``batch_size`` windows;
+* a pipeline is anything speaking the :class:`repro.api.WeakLocalizer`
+  serving surface — ``eval()``, ``localize(windows, batch_size)`` and the
+  ``status_threshold`` / ``power_gate_watts`` knobs.  Raw
+  :class:`~repro.core.CamAL` pipelines, registry estimators
+  (``repro.api.create``) and every §V-C baseline adapter all qualify, so
+  baselines get windowed long-series multi-appliance serving for free;
+* each pipeline runs its localization in micro-batches of ``batch_size``
+  windows (CamAL's is the fused single-forward path);
 * an optional LRU cache keyed on ``(appliance, window-content hash)``
   short-circuits windows already scored — flat overnight stretches and
   re-analyzed days hit the cache instead of the conv stack;
@@ -25,7 +31,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.localization import CamAL, LocalizationOutput
+from ..core.localization import LocalizationOutput
 from ..simdata.preprocessing import SCALE_DIVISOR
 from .windowing import SlidingWindowPlan, plan_windows, slice_windows, stitch_mean
 
@@ -87,13 +93,15 @@ class HouseholdInference:
 
 
 class InferenceEngine:
-    """Batched multi-appliance CamAL inference over long aggregate series.
+    """Batched multi-appliance inference over long aggregate series.
 
-    Typical use::
+    Serves any estimator implementing the :class:`repro.api.WeakLocalizer`
+    serving surface — the CamAL pipeline and every registered baseline
+    adapter alike.  Typical use::
 
         engine = InferenceEngine(EngineConfig(window=256, stride=128))
-        engine.register("kettle", kettle_camal)
-        engine.load("dishwasher", "models/dishwasher")  # via core.persistence
+        engine.register("kettle", kettle_camal)       # CamAL or estimator
+        engine.load("dishwasher", "models/dishwasher")  # any saved model
         result = engine.run(aggregate_watts)
         status = result.status("kettle")  # (len(aggregate_watts),)
     """
@@ -104,28 +112,45 @@ class InferenceEngine:
         if config.batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {config.batch_size}")
         self.config = config
-        self.pipelines: Dict[str, CamAL] = {}
+        self.pipelines: Dict[str, object] = {}
         self._cache: "OrderedDict[Tuple[str, bytes], _CacheRow]" = OrderedDict()
 
     # -- pipeline registry ------------------------------------------------
-    def register(self, appliance: str, camal: CamAL) -> "InferenceEngine":
+    def register(self, appliance: str, pipeline) -> "InferenceEngine":
         """Attach a trained pipeline under ``appliance`` (replaces any).
 
-        Replacing a pipeline drops the appliance's cached window results,
-        so a retrained model is never served the old model's scores.
+        ``pipeline`` is a :class:`~repro.core.CamAL` or any
+        :class:`repro.api.WeakLocalizer`.  Replacing a pipeline drops the
+        appliance's cached window results, so a retrained model is never
+        served the old model's scores.
         """
-        camal.ensemble.eval()
+        if not callable(getattr(pipeline, "localize", None)):
+            raise TypeError(
+                f"pipeline for {appliance!r} must implement localize(); got "
+                f"{type(pipeline).__name__}"
+            )
+        # Switch to inference mode through whichever hook the pipeline has
+        # (estimators/CamAL expose eval(); bare ensembles their .ensemble).
+        if callable(getattr(pipeline, "eval", None)):
+            pipeline.eval()
+        elif hasattr(pipeline, "ensemble"):
+            pipeline.ensemble.eval()
         if appliance in self.pipelines:
             for key in [k for k in self._cache if k[0] == appliance]:
                 del self._cache[key]
-        self.pipelines[appliance] = camal
+        self.pipelines[appliance] = pipeline
         return self
 
     def load(self, appliance: str, directory: str) -> "InferenceEngine":
-        """Load a persisted pipeline (``save_camal`` layout) and register it."""
-        from ..core.persistence import load_camal
+        """Load any persisted estimator directory and register it.
 
-        return self.register(appliance, load_camal(directory))
+        Dispatches through :func:`repro.api.persistence.load_estimator`,
+        so both legacy ``save_camal`` layouts and generic format-2
+        manifests (baseline adapters) serve transparently.
+        """
+        from ..api.persistence import load_estimator
+
+        return self.register(appliance, load_estimator(directory))
 
     @property
     def appliances(self) -> List[str]:
@@ -185,16 +210,15 @@ class InferenceEngine:
 
         result = HouseholdInference(plan=plan)
         for name in names:
-            camal = self.pipelines[name]
-            output, hits = self._localize_cached(name, camal, windows)
+            pipeline = self.pipelines[name]
+            output, hits = self._localize_cached(name, pipeline, windows)
             soft = stitch_mean(output.soft_status, plan)
-            status = (soft >= self._status_threshold(camal)).astype(np.float32)
-            if camal.power_gate_watts is not None:
+            status = (soft >= self._status_threshold(pipeline)).astype(np.float32)
+            gate = getattr(pipeline, "power_gate_watts", None)
+            if gate is not None:
                 # Re-apply the power gate on the *series* so stitching can
                 # never turn a below-threshold timestamp ON.
-                status *= (aggregate_watts >= camal.power_gate_watts).astype(
-                    np.float32
-                )
+                status *= (aggregate_watts >= gate).astype(np.float32)
             result.per_appliance[name] = ApplianceSeriesResult(
                 appliance=name,
                 windows=output,
@@ -204,18 +228,18 @@ class InferenceEngine:
             )
         return result
 
-    def _status_threshold(self, camal: CamAL) -> float:
+    def _status_threshold(self, pipeline) -> float:
         """Stitching threshold: the pipeline's own unless the config overrides."""
         if self.config.status_threshold is not None:
             return float(self.config.status_threshold)
-        return float(getattr(camal, "status_threshold", 0.5))
+        return float(getattr(pipeline, "status_threshold", 0.5))
 
     def _localize_cached(
-        self, appliance: str, camal: CamAL, windows: np.ndarray
+        self, appliance: str, pipeline, windows: np.ndarray
     ) -> Tuple[LocalizationOutput, int]:
         """Localize a window batch, serving repeats from the LRU cache."""
         if self.config.cache_size <= 0:
-            return camal.localize(windows, self.config.batch_size), 0
+            return pipeline.localize(windows, self.config.batch_size), 0
 
         n, length = windows.shape
         proba = np.zeros(n, dtype=np.float32)
@@ -237,7 +261,7 @@ class InferenceEngine:
             proba[i], detected[i], cam[i], soft[i], status[i] = row
         if misses:
             miss_idx = np.asarray(misses)
-            fresh = camal.localize(windows[miss_idx], self.config.batch_size)
+            fresh = pipeline.localize(windows[miss_idx], self.config.batch_size)
             proba[miss_idx] = fresh.detection_proba
             detected[miss_idx] = fresh.detected
             cam[miss_idx] = fresh.cam

@@ -34,6 +34,7 @@ from .loops import (
     evaluate_classifier_loss,
     evaluate_seq2seq_loss,
     predict_proba,
+    predict_proba_seq2seq,
     predict_status_seq2seq,
     train_classifier,
     train_seq2seq,
@@ -51,6 +52,7 @@ __all__ = [
     "evaluate_classifier_loss",
     "evaluate_seq2seq_loss",
     "predict_proba",
+    "predict_proba_seq2seq",
     "predict_status_seq2seq",
     "TrainingCheckpoint",
     "CHECKPOINT_FORMAT_VERSION",

@@ -369,18 +369,26 @@ def evaluate_seq2seq_loss(
     return total / count
 
 
-def predict_status_seq2seq(
-    model: nn.Module, x: np.ndarray, batch_size: int = 256, threshold: float = 0.5
+def predict_proba_seq2seq(
+    model: nn.Module, x: np.ndarray, batch_size: int = 256
 ) -> np.ndarray:
-    """Binary per-timestamp predictions of a seq2seq model, ``(N, L)``."""
+    """Per-timestamp sigmoid probabilities of a seq2seq model, ``(N, L)``."""
     x = np.asarray(x, dtype=np.float32)
     outputs = []
     with nn.no_grad():
         for start in range(0, len(x), batch_size):
             xb = x[start : start + batch_size]
             logits = model(Tensor(xb[:, None, :])).data
-            outputs.append((1.0 / (1.0 + np.exp(-logits)) >= threshold).astype(np.float32))
+            outputs.append((1.0 / (1.0 + np.exp(-logits))).astype(np.float32))
     return np.concatenate(outputs) if outputs else np.zeros((0, x.shape[1]), dtype=np.float32)
+
+
+def predict_status_seq2seq(
+    model: nn.Module, x: np.ndarray, batch_size: int = 256, threshold: float = 0.5
+) -> np.ndarray:
+    """Binary per-timestamp predictions of a seq2seq model, ``(N, L)``."""
+    probs = predict_proba_seq2seq(model, x, batch_size)
+    return (probs >= threshold).astype(np.float32)
 
 
 # ----------------------------------------------------------------------

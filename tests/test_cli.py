@@ -83,6 +83,27 @@ class TestTrainParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train"])
 
+    def test_model_spec_parsed(self):
+        args = build_train_parser().parse_args(["--model", "crnn@small"])
+        assert args.model == "crnn@small"
+        args = build_parser().parse_args(["report", "--model", "tpnilm@tiny"])
+        assert args.model == "tpnilm@tiny"
+
+
+class TestModelsCommand:
+    def test_models_lists_every_registered_estimator(self, capsys):
+        from repro import api
+
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in api.available_models():
+            assert name in out
+        assert "Supervision" in out
+        assert "paper/small/tiny" in out
+
+    def test_models_not_in_experiment_commands(self):
+        assert "models" not in COMMANDS
+
 
 class TestExecution:
     def test_fig9_runs_fast(self, capsys):
@@ -109,12 +130,13 @@ class TestExecution:
         ]
         assert main(argv) == 0
         out = capsys.readouterr().out
-        assert "Trained kettle on ukdale" in out
+        assert "Trained camal for kettle on ukdale" in out
         assert "pipeline saved to" in out
         assert os.path.exists(tmp_path / "pipeline" / "manifest.json")
         assert len(list((tmp_path / "ckpts").iterdir())) > 0
 
-        from repro.core import load_camal
+        from repro.api import CamALLocalizer, load_estimator
 
-        camal = load_camal(str(tmp_path / "pipeline"))
-        assert len(camal.ensemble) >= 1
+        estimator = load_estimator(str(tmp_path / "pipeline"))
+        assert isinstance(estimator, CamALLocalizer)
+        assert len(estimator.pipeline.ensemble) >= 1

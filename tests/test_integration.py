@@ -61,7 +61,7 @@ class TestCamALEndToEnd:
 class TestBaselinesEndToEnd:
     @pytest.mark.parametrize("name", ["TPNILM", "CRNN-weak"])
     def test_baseline_runs_and_scores(self, kettle_case, preset, name):
-        result = ex.run_baseline(name, kettle_case, preset, seed=0)
+        result = ex.run_model(name, kettle_case, preset, seed=0)
         assert 0.0 <= result.f1 <= 1.0
         expected_labels = (
             len(kettle_case.train.weak)
@@ -71,8 +71,22 @@ class TestBaselinesEndToEnd:
         assert result.n_labels == expected_labels
 
     def test_strong_labels_count_is_w_per_window(self, kettle_case, preset):
-        result = ex.run_baseline("UNet-NILM", kettle_case, preset, seed=0)
+        result = ex.run_model("UNet-NILM", kettle_case, preset, seed=0)
         assert result.n_labels == len(kettle_case.train) * preset.window
+
+    def test_run_baseline_shim_warns_and_matches_run_model(
+        self, kettle_case, preset
+    ):
+        """The deprecated entry point routes through the registry with
+        identical results."""
+        with pytest.warns(DeprecationWarning, match="run_baseline is deprecated"):
+            legacy = ex.run_baseline("TPNILM", kettle_case, preset, seed=0)
+        fresh = ex.run_model("TPNILM", kettle_case, preset, seed=0)
+        assert legacy.f1 == fresh.f1
+        assert legacy.precision == fresh.precision
+        assert legacy.recall == fresh.recall
+        assert legacy.mae_watts == fresh.mae_watts
+        assert legacy.n_labels == fresh.n_labels
 
 
 class TestWeakTableEndToEnd:

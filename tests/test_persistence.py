@@ -1,4 +1,10 @@
-"""Tests for CamAL pipeline persistence (save/load round trips)."""
+"""Tests for CamAL pipeline persistence (save/load round trips).
+
+The canonical entry points are the generic
+:func:`repro.api.save_estimator` / :func:`repro.api.load_estimator`;
+``save_camal`` / ``load_camal`` remain as deprecation shims with
+identical behavior (asserted below).
+"""
 
 import json
 import os
@@ -6,6 +12,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.api import CamALLocalizer, load_estimator, save_estimator
 from repro.core import (
     CamAL,
     ResNetConfig,
@@ -36,55 +43,94 @@ class TestRoundTrip:
     def test_predictions_identical(self, camal, tmp_path):
         x = np.random.default_rng(0).random((6, 32)).astype(np.float32)
         before = camal.localize(x)
-        save_camal(camal, str(tmp_path))
-        reloaded = load_camal(str(tmp_path))
+        save_estimator(camal, str(tmp_path))
+        reloaded = load_estimator(str(tmp_path))
+        assert isinstance(reloaded, CamALLocalizer)
         after = reloaded.localize(x)
         assert np.allclose(before.detection_proba, after.detection_proba, atol=1e-6)
         assert np.array_equal(before.status, after.status)
 
     def test_settings_preserved(self, camal, tmp_path):
-        save_camal(camal, str(tmp_path))
-        reloaded = load_camal(str(tmp_path))
+        save_estimator(camal, str(tmp_path))
+        reloaded = load_estimator(str(tmp_path))
         assert reloaded.detection_threshold == pytest.approx(0.4)
         assert reloaded.use_attention is True
         assert reloaded.power_gate_watts == pytest.approx(500.0)
-        assert reloaded.ensemble.kernel_sizes == camal.ensemble.kernel_sizes
+        assert reloaded.pipeline.ensemble.kernel_sizes == camal.ensemble.kernel_sizes
 
     def test_none_power_gate_preserved(self, camal, tmp_path):
         camal.power_gate_watts = None
-        save_camal(camal, str(tmp_path))
-        assert load_camal(str(tmp_path)).power_gate_watts is None
+        save_estimator(camal, str(tmp_path))
+        assert load_estimator(str(tmp_path)).power_gate_watts is None
 
     def test_directory_contents(self, camal, tmp_path):
-        save_camal(camal, str(tmp_path))
+        save_estimator(camal, str(tmp_path))
         files = set(os.listdir(tmp_path))
         assert "manifest.json" in files
         assert "member_0.npz" in files and "member_1.npz" in files
 
     def test_manifest_schema(self, camal, tmp_path):
-        save_camal(camal, str(tmp_path))
+        save_estimator(camal, str(tmp_path))
         with open(tmp_path / "manifest.json") as handle:
             manifest = json.load(handle)
         assert manifest["format_version"] == 1
+        assert manifest["model"] == "camal"
         assert len(manifest["members"]) == 2
         assert manifest["members"][0]["kernel_size"] == 3
+
+    def test_manifest_without_model_key_still_loads(self, camal, tmp_path):
+        """Directories written before the registry (no ``model`` key) load
+        as CamAL."""
+        save_estimator(camal, str(tmp_path))
+        path = tmp_path / "manifest.json"
+        manifest = json.loads(path.read_text())
+        del manifest["model"]
+        path.write_text(json.dumps(manifest))
+        assert isinstance(load_estimator(str(tmp_path)), CamALLocalizer)
 
 
 class TestErrors:
     def test_missing_manifest_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
-            load_camal(str(tmp_path))
+            load_estimator(str(tmp_path))
 
     def test_bad_version_raises(self, camal, tmp_path):
-        save_camal(camal, str(tmp_path))
+        save_estimator(camal, str(tmp_path))
         path = tmp_path / "manifest.json"
         manifest = json.loads(path.read_text())
         manifest["format_version"] = 99
         path.write_text(json.dumps(manifest))
         with pytest.raises(ValueError, match="format_version"):
-            load_camal(str(tmp_path))
+            load_estimator(str(tmp_path))
 
     def test_creates_directory(self, camal, tmp_path):
         target = tmp_path / "nested" / "dir"
-        save_camal(camal, str(target))
-        assert load_camal(str(target)) is not None
+        save_estimator(camal, str(target))
+        assert load_estimator(str(target)) is not None
+
+
+class TestDeprecatedShims:
+    """save_camal/load_camal warn but behave exactly like the originals."""
+
+    def test_save_camal_warns_and_writes_same_layout(self, camal, tmp_path):
+        with pytest.warns(DeprecationWarning, match="save_camal is deprecated"):
+            save_camal(camal, str(tmp_path / "legacy"))
+        save_estimator(camal, str(tmp_path / "fresh"))
+        legacy = json.loads((tmp_path / "legacy" / "manifest.json").read_text())
+        fresh = json.loads((tmp_path / "fresh" / "manifest.json").read_text())
+        assert legacy == fresh
+        assert set(os.listdir(tmp_path / "legacy")) == set(
+            os.listdir(tmp_path / "fresh")
+        )
+
+    def test_load_camal_warns_and_predicts_identically(self, camal, tmp_path):
+        save_estimator(camal, str(tmp_path))
+        with pytest.warns(DeprecationWarning, match="load_camal is deprecated"):
+            legacy = load_camal(str(tmp_path))
+        assert isinstance(legacy, CamAL)
+        fresh = load_estimator(str(tmp_path))
+        x = np.random.default_rng(1).random((4, 32)).astype(np.float32)
+        assert np.array_equal(legacy.localize(x).status, fresh.localize(x).status)
+        assert np.array_equal(
+            legacy.localize(x).detection_proba, fresh.localize(x).detection_proba
+        )

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api import save_estimator
 from repro.core import (
     CamAL,
     ResNetConfig,
@@ -12,7 +13,6 @@ from repro.core import (
     ResNetTSC,
     load_pipelines,
     localize_double_forward,
-    save_camal,
     save_pipelines,
 )
 from repro.core.resnet import ResNetTSC as _ResNetTSC
@@ -474,7 +474,7 @@ class TestEnginePersistence:
         direct.register("kettle", camal)
         expected = direct.run(series)
 
-        save_camal(camal, str(tmp_path / "kettle"))
+        save_estimator(camal, str(tmp_path / "kettle"))
         loaded = InferenceEngine(EngineConfig(window=32, stride=16))
         loaded.load("kettle", str(tmp_path / "kettle"))
         got = loaded.run(series)
