@@ -8,6 +8,9 @@ Package layout:
 
 * :mod:`repro.nn` — from-scratch NumPy deep-learning substrate;
 * :mod:`repro.simdata` — synthetic smart-meter corpora (Table I datasets);
+* :mod:`repro.data` — sharded on-disk meter store (memory-mapped shards
+  + manifest with preprocessing provenance) and the streaming window
+  pipeline feeding training and serving;
 * :mod:`repro.core` — CamAL (ResNet ensemble + CAM localization);
 * :mod:`repro.api` — the unified estimator API: the ``WeakLocalizer``
   contract, the model registry with named scale presets, and generic
@@ -42,11 +45,12 @@ Quickstart — every model trains and serves through the same five verbs
 
 __version__ = "1.0.0"
 
-from . import api, baselines, core, metrics, nn, serving, simdata, training
+from . import api, baselines, core, data, metrics, nn, serving, simdata, training
 
 __all__ = [
     "nn",
     "simdata",
+    "data",
     "core",
     "api",
     "serving",

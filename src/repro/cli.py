@@ -11,6 +11,9 @@ Usage::
     python -m repro train --appliance kettle --workers 4 \
         --checkpoint-dir ckpts/kettle --out models/kettle
     python -m repro train --model crnn@small --out models/kettle-crnn
+    python -m repro data ingest --corpus ukdale --days 7 --out stores/ukdale
+    python -m repro data info stores/ukdale
+    python -m repro data windows stores/ukdale --appliance kettle
 
 Each experiment subcommand prints the same rows/series the paper reports
 (see EXPERIMENTS.md for the paper-vs-measured comparison); ``report``
@@ -20,7 +23,11 @@ in the :mod:`repro.api` registry with its scale presets; ``train`` fits
 one appliance model — CamAL (Algorithm 1, optionally across worker
 processes and resumable from per-candidate checkpoints) or any registered
 baseline via ``--model <name>@<scale>`` — and persists it for
-``InferenceEngine.load`` (see ``docs/training.md`` and ``docs/api.md``).
+``InferenceEngine.load`` (see ``docs/training.md`` and ``docs/api.md``);
+``data`` manages :mod:`repro.data` meter stores — ``ingest`` builds a
+sharded store from a corpus or CSV directory, ``info`` prints its
+manifest, ``windows`` counts streamable training windows per household
+(see ``docs/data.md``).
 """
 
 from __future__ import annotations
@@ -236,7 +243,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="additional subcommands: 'repro train [...]' — train and "
         "persist one appliance model (own flags; see 'repro train --help' "
         "and docs/training.md); 'repro models' — list every registered "
-        "estimator and its scale presets (docs/api.md)",
+        "estimator and its scale presets (docs/api.md); 'repro data "
+        "ingest|info|windows' — build and inspect sharded meter stores "
+        "(docs/data.md)",
     )
     parser.add_argument(
         "experiment",
@@ -446,6 +455,210 @@ def _run_train_estimator(
     return "\n".join(lines)
 
 
+def build_data_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro data`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="repro data",
+        description="Manage sharded on-disk meter stores (repro.data): "
+        "ingest a corpus or CSV directory once, then train and serve from "
+        "the memory-mapped shards (see docs/data.md).",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    ingest = sub.add_parser(
+        "ingest", help="preprocess + shard a corpus or CSV directory"
+    )
+    source = ingest.add_mutually_exclusive_group(required=True)
+    from .simdata import CORPUS_BUILDERS
+
+    source.add_argument(
+        "--corpus",
+        choices=sorted(CORPUS_BUILDERS),
+        help="simulated Table-I corpus to ingest (hermetic path)",
+    )
+    source.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="CSV directory layout (one sub-directory per household with "
+        "aggregate.csv + <appliance>.csv channels)",
+    )
+    ingest.add_argument("--out", required=True, help="store directory to create")
+    ingest.add_argument(
+        "--days", type=float, default=7.0, help="recording length per simulated house"
+    )
+    ingest.add_argument(
+        "--houses", type=int, default=None, help="house count override (corpus mode)"
+    )
+    ingest.add_argument("--seed", type=int, default=0, help="corpus simulation seed")
+    ingest.add_argument(
+        "--dt-seconds",
+        type=float,
+        default=None,
+        help="sampling period of the CSV series (csv mode, required there)",
+    )
+    ingest.add_argument(
+        "--resample",
+        type=int,
+        default=1,
+        metavar="FACTOR",
+        help="integer resample factor applied at ingest (interval averaging)",
+    )
+    ingest.add_argument(
+        "--max-ffill",
+        type=int,
+        default=None,
+        help="forward-fill bound in post-resample samples (default: the "
+        "corpus's Table-I budget; required for --csv)",
+    )
+    ingest.add_argument(
+        "--shard-length",
+        type=int,
+        default=None,
+        help="samples per shard (default: 65536)",
+    )
+    ingest.add_argument(
+        "--workers", type=int, default=1, help="households ingested in parallel"
+    )
+    ingest.add_argument(
+        "--drop-tail",
+        action="store_true",
+        help="drop the partial trailing resample block instead of averaging it",
+    )
+
+    info = sub.add_parser("info", help="print a store's manifest summary")
+    info.add_argument("store", help="store directory")
+
+    windows = sub.add_parser(
+        "windows", help="count streamable training windows per household"
+    )
+    windows.add_argument("store", help="store directory")
+    windows.add_argument("--appliance", required=True, help="target appliance")
+    windows.add_argument(
+        "--window", type=int, default=None,
+        help="window length w (default: the paper's 510)",
+    )
+    windows.add_argument(
+        "--houses", default=None,
+        help="comma-separated household subset (default: all)",
+    )
+    return parser
+
+
+def _run_data_ingest(args: argparse.Namespace) -> str:
+    from . import data, simdata as sd
+
+    kwargs = {}
+    for field, value in (
+        ("resample_factor", args.resample),
+        ("max_ffill_samples", args.max_ffill),
+        ("shard_length", args.shard_length),
+        ("n_workers", args.workers),
+    ):
+        if value is not None:
+            kwargs[field] = value
+    config = data.IngestConfig(keep_tail=not args.drop_tail, **kwargs)
+
+    start = time.perf_counter()
+    if args.corpus:
+        import inspect
+
+        builder = sd.CORPUS_BUILDERS[args.corpus]
+        builder_kwargs = {"days": args.days, "seed": args.seed}
+        if args.houses is not None:
+            if "n_houses" not in inspect.signature(builder).parameters:
+                raise SystemExit(
+                    f"--houses is not supported by the {args.corpus!r} builder"
+                )
+            builder_kwargs["n_houses"] = args.houses
+        corpus = builder(**builder_kwargs)
+        store = data.ingest_corpus(corpus, args.out, config)
+    else:
+        if args.dt_seconds is None or args.max_ffill is None:
+            raise SystemExit("--csv ingest requires --dt-seconds and --max-ffill")
+        store = data.ingest_csv_dir(
+            args.csv, args.out, args.dt_seconds, args.max_ffill, config=config
+        )
+    wall = time.perf_counter() - start
+    total = store.total_samples()
+    return "\n".join(
+        [
+            f"Ingested {store.name!r} into {args.out}",
+            f"  households        : {len(store)}",
+            f"  samples           : {total} "
+            f"({total / max(wall, 1e-9):,.0f} samples/s over {wall:.1f}s)",
+            f"  shard length      : {store.shard_length}",
+            f"  provenance        : {store.preprocessing}",
+        ]
+    )
+
+
+def _run_data_info(args: argparse.Namespace) -> str:
+    from .data import MeterStore
+
+    store = MeterStore(args.store)
+    rows = []
+    for hid, meta in store.households.items():
+        rows.append(
+            [
+                hid,
+                str(meta.n_samples),
+                str(meta.n_shards),
+                "/".join(meta.submetered) or "-",
+                str(sum(meta.possession.values())),
+            ]
+        )
+    table = ex.render_table(
+        ["House", "Samples", "Shards", "Submetered", "Owned"],
+        rows,
+        title=f"Store {store.name!r} (format {store.manifest['format']}) — "
+        f"dt={store.dt_seconds:g}s, shard={store.shard_length}, "
+        f"targets: {', '.join(store.target_appliances)}",
+    )
+    return table + f"\npreprocessing: {store.preprocessing}"
+
+
+def _run_data_windows(args: argparse.Namespace) -> str:
+    from .data import MeterStore, StreamingWindows
+    from .simdata.preprocessing import DEFAULT_WINDOW
+
+    from .simdata.preprocessing import on_status
+
+    store = MeterStore(args.store)
+    window = args.window or DEFAULT_WINDOW
+    house_ids = args.houses.split(",") if args.houses else store.house_ids
+    rows = []
+    n_valid = 0
+    for hid in house_ids:
+        ws = StreamingWindows(store, args.appliance, house_ids=[hid], window=window)
+        total = store.n_samples(hid) // window
+        # Weak labels need only the power channel — skip the aggregate
+        # reads/scaling a full __getitem__ would pay per window.
+        positives = sum(
+            bool(on_status(ws.power_window(i), ws.threshold_watts).max())
+            for i in range(len(ws))
+        )
+        n_valid += len(ws)
+        rows.append([hid, str(total), str(len(ws)), str(total - len(ws)), str(positives)])
+    table = ex.render_table(
+        ["House", "Windows", "Valid", "Gap-dropped", "Positive"],
+        rows,
+        title=f"Streamable windows — appliance={args.appliance}, w={window}",
+    )
+    return table + (
+        f"\npooled: {n_valid} windows "
+        f"({n_valid} weak / {n_valid * window} strong labels)"
+    )
+
+
+def run_data(args: argparse.Namespace) -> str:
+    """Execute ``repro data`` and return the human-readable summary."""
+    if args.action == "ingest":
+        return _run_data_ingest(args)
+    if args.action == "info":
+        return _run_data_info(args)
+    return _run_data_windows(args)
+
+
 def run_train(args: argparse.Namespace) -> str:
     """Execute ``repro train`` and return the human-readable summary."""
     preset = ex.get_preset(args.preset)
@@ -462,6 +675,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "train":
         print(run_train(build_train_parser().parse_args(argv[1:])))
+        return 0
+    if argv and argv[0] == "data":
+        print(run_data(build_data_parser().parse_args(argv[1:])))
         return 0
     if argv and argv[0] == "models":
         print(run_models_listing())

@@ -1,0 +1,375 @@
+"""The on-disk meter store: sharded, memory-mapped household recordings.
+
+A store is a directory holding one JSON manifest plus fixed-length raw
+float32 shards per household::
+
+    store/
+      manifest.json
+      shards/
+        ukdale_h1/
+          00000.f32
+          00001.f32
+        ukdale_h2/
+          ...
+
+Every shard file is a little-endian float32 matrix of shape
+``(n_channels + 1, shard_length)`` written atomically (tmp file +
+``os.replace``) and read back as an ``np.memmap`` — opening a store costs
+one JSON parse, and reading a window touches only the pages it covers.
+Row layout:
+
+* rows ``0 .. n_channels-1`` — the household's power channels in manifest
+  order (``aggregate`` first, then the submetered appliances);
+* the **last row** is the validity mask: ``1.0`` where the aggregate
+  sample was recorded (or repaired by the bounded forward-fill at
+  ingest), ``0.0`` where it is missing beyond the fill bound or is tail
+  padding of the final shard.  NaN values are stored as ``0.0`` — raw
+  reads are always NaN-free — and :meth:`MeterStore.read_channel`
+  reconstructs the aggregate's gaps on demand for exact round-trips.
+  Submeter channels keep their recorded values even where the aggregate
+  has a gap: ground truth is never discarded.
+
+The manifest records the sampling rate, target appliances, per-household
+possession answers, and the full preprocessing provenance (resample
+factor, fill bound, tail policy) so a store is self-describing: training
+and serving never need the original corpus again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: On-disk manifest schema version.
+STORE_FORMAT_VERSION = 1
+
+#: Default samples per shard (float32 rows; one channel row is 256 KiB).
+DEFAULT_SHARD_LENGTH = 65536
+
+#: Name of the mandatory first channel of every household.
+AGGREGATE_CHANNEL = "aggregate"
+
+MANIFEST_NAME = "manifest.json"
+_SHARDS_DIR = "shards"
+
+#: Open memmaps kept per store (LRU).  A memmap costs an open+mmap pair
+#: of syscalls; window reads hit the same shard thousands of times, so
+#: re-opening per read would dominate the streaming hot path.  Kept well
+#: under typical fd limits — a store may hold millions of shards.
+_MMAP_CACHE_SIZE = 32
+
+
+def _atomic_write_bytes(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (tmp file + rename)."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def write_manifest(store_dir: str, manifest: Dict) -> None:
+    """Atomically persist the store manifest.
+
+    The manifest is written **last** during ingest, so a directory with a
+    readable manifest always describes a complete set of shards — a
+    crashed ingest leaves no half-valid store behind.
+    """
+    payload = json.dumps(manifest, indent=2, sort_keys=False).encode()
+    _atomic_write_bytes(os.path.join(store_dir, MANIFEST_NAME), payload)
+
+
+def write_household_shards(
+    store_dir: str,
+    house_id: str,
+    channels: Dict[str, np.ndarray],
+    mask: np.ndarray,
+    shard_length: int,
+) -> int:
+    """Write one household's channels+mask as fixed-length shards.
+
+    ``channels`` maps channel name -> float32 series; all series and the
+    boolean ``mask`` must share one length.  NaN values are stored as
+    ``0.0`` (the mask records which aggregate samples were actually
+    recorded); non-NaN values are kept verbatim, so submeter readings
+    survive aggregate gaps.  Returns the number of shards written.
+    """
+    if AGGREGATE_CHANNEL not in channels:
+        raise ValueError(f"{house_id}: channels must include {AGGREGATE_CHANNEL!r}")
+    if shard_length <= 0:
+        raise ValueError(f"shard_length must be positive, got {shard_length}")
+    names = channel_order(channels)
+    n = len(mask)
+    for name in names:
+        if len(channels[name]) != n:
+            raise ValueError(
+                f"{house_id}: channel {name!r} has {len(channels[name])} samples, "
+                f"mask has {n}"
+            )
+    mask_f = np.asarray(mask, dtype=bool)
+    rows = [
+        np.nan_to_num(np.asarray(channels[name], dtype=np.float32), nan=0.0)
+        for name in names
+    ]
+    rows.append(mask_f.astype(np.float32))
+    matrix = np.stack(rows)  # (n_channels + 1, n)
+
+    house_dir = os.path.join(store_dir, _SHARDS_DIR, house_id)
+    os.makedirs(house_dir, exist_ok=True)
+    n_shards = max(1, -(-n // shard_length))  # ceil; at least one shard
+    for k in range(n_shards):
+        start, stop = k * shard_length, min((k + 1) * shard_length, n)
+        shard = np.zeros((matrix.shape[0], shard_length), dtype="<f4")
+        shard[:, : stop - start] = matrix[:, start:stop]
+        _atomic_write_bytes(
+            os.path.join(house_dir, f"{k:05d}.f32"), shard.tobytes()
+        )
+    return n_shards
+
+
+def channel_order(channels: Dict[str, np.ndarray] | Sequence[str]) -> List[str]:
+    """Canonical row order: ``aggregate`` first, appliances sorted."""
+    names = list(channels)
+    if AGGREGATE_CHANNEL not in names:
+        raise ValueError(f"channels must include {AGGREGATE_CHANNEL!r}")
+    return [AGGREGATE_CHANNEL] + sorted(n for n in names if n != AGGREGATE_CHANNEL)
+
+
+@dataclass(frozen=True)
+class HouseholdMeta:
+    """Manifest entry for one household."""
+
+    house_id: str
+    n_samples: int
+    n_shards: int
+    channels: Tuple[str, ...]  # shard row order; the mask row is implicit
+    possession: Dict[str, bool]
+    submetered: Tuple[str, ...]
+
+    def channel_row(self, channel: str) -> int:
+        try:
+            return self.channels.index(channel)
+        except ValueError:
+            raise KeyError(
+                f"house {self.house_id!r} has no channel {channel!r}; "
+                f"available: {list(self.channels)}"
+            ) from None
+
+    @property
+    def mask_row(self) -> int:
+        return len(self.channels)
+
+
+class MeterStore:
+    """Read-side handle on an ingested store directory.
+
+    Duck-compatible with :class:`repro.simdata.Corpus` where the rest of
+    the system needs it: exposes ``name``, ``house_ids``,
+    ``submetered_house_ids``, ``target_appliances``, ``dt_seconds`` and
+    ``possession_labels``, so house-level splitting
+    (:func:`repro.simdata.split_houses`) works on a store unchanged.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            raise FileNotFoundError(
+                f"{path!r} is not a meter store (missing {MANIFEST_NAME}); "
+                f"ingest one with repro.data.ingest_corpus or 'repro data ingest'"
+            )
+        with open(manifest_path) as handle:
+            self.manifest: Dict = json.load(handle)
+        version = self.manifest.get("format")
+        if version != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"{path!r}: unsupported store format {version!r} "
+                f"(this build reads format {STORE_FORMAT_VERSION})"
+            )
+        self._mmaps: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
+        self.households: Dict[str, HouseholdMeta] = {}
+        for house_id, entry in self.manifest["households"].items():
+            self.households[house_id] = HouseholdMeta(
+                house_id=house_id,
+                n_samples=int(entry["n_samples"]),
+                n_shards=int(entry["n_shards"]),
+                channels=tuple(entry["channels"]),
+                possession={k: bool(v) for k, v in entry["possession"].items()},
+                submetered=tuple(entry["submetered"]),
+            )
+
+    # -- corpus-compatible metadata ---------------------------------------
+    @property
+    def name(self) -> str:
+        return self.manifest["name"]
+
+    @property
+    def dt_seconds(self) -> float:
+        return float(self.manifest["dt_seconds"])
+
+    @property
+    def shard_length(self) -> int:
+        return int(self.manifest["shard_length"])
+
+    @property
+    def target_appliances(self) -> List[str]:
+        return list(self.manifest["target_appliances"])
+
+    @property
+    def preprocessing(self) -> Dict:
+        """Provenance recorded at ingest (resample factor, fill bound, ...)."""
+        return dict(self.manifest["preprocessing"])
+
+    @property
+    def house_ids(self) -> List[str]:
+        return list(self.households)
+
+    @property
+    def submetered_house_ids(self) -> List[str]:
+        return list(self.manifest["submetered_house_ids"])
+
+    def possession_labels(self, appliance: str) -> Dict[str, bool]:
+        """Per-household ownership answers for one appliance."""
+        return {
+            hid: meta.possession.get(appliance, False)
+            for hid, meta in self.households.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self.households)
+
+    def house_meta(self, house_id: str) -> HouseholdMeta:
+        try:
+            return self.households[house_id]
+        except KeyError:
+            raise KeyError(f"{self.name}: no house {house_id!r}") from None
+
+    def n_samples(self, house_id: str) -> int:
+        return self.house_meta(house_id).n_samples
+
+    def total_samples(self) -> int:
+        return sum(meta.n_samples for meta in self.households.values())
+
+    # -- shard access ------------------------------------------------------
+    def shard_path(self, house_id: str, shard: int) -> str:
+        return os.path.join(self.path, _SHARDS_DIR, house_id, f"{shard:05d}.f32")
+
+    def shard(self, house_id: str, shard: int) -> np.ndarray:
+        """Memory-map one shard, shape ``(n_channels + 1, shard_length)``.
+
+        Maps are read-only and cached in a small LRU, so streaming many
+        windows out of one shard opens its file once.
+        """
+        meta = self.house_meta(house_id)
+        if not 0 <= shard < meta.n_shards:
+            raise IndexError(
+                f"house {house_id!r} has {meta.n_shards} shards, asked for {shard}"
+            )
+        key = (house_id, shard)
+        cached = self._mmaps.get(key)
+        if cached is not None:
+            self._mmaps.move_to_end(key)
+            return cached
+        mapped = np.memmap(
+            self.shard_path(house_id, shard),
+            dtype="<f4",
+            mode="r",
+            shape=(len(meta.channels) + 1, self.shard_length),
+        )
+        self._mmaps[key] = mapped
+        while len(self._mmaps) > _MMAP_CACHE_SIZE:
+            self._mmaps.popitem(last=False)
+        return mapped
+
+    def _read_row(self, house_id: str, row: int, start: int, stop: int) -> np.ndarray:
+        """Assemble one shard row over ``[start, stop)`` sample positions.
+
+        Returns a zero-copy memmap view when the range lies inside a
+        single shard; ranges crossing a shard boundary are concatenated
+        (one copy of exactly the requested samples).
+        """
+        meta = self.house_meta(house_id)
+        if not 0 <= start <= stop <= meta.n_samples:
+            raise IndexError(
+                f"range [{start}, {stop}) outside house {house_id!r} "
+                f"({meta.n_samples} samples)"
+            )
+        if start == stop:
+            return np.zeros(0, dtype=np.float32)
+        length = self.shard_length
+        first, last = start // length, (stop - 1) // length
+        if first == last:
+            return self.shard(house_id, first)[row, start - first * length : stop - first * length]
+        pieces = []
+        for k in range(first, last + 1):
+            lo = max(start, k * length) - k * length
+            hi = min(stop, (k + 1) * length) - k * length
+            pieces.append(self.shard(house_id, k)[row, lo:hi])
+        return np.concatenate(pieces)
+
+    def read_mask(
+        self, house_id: str, start: int = 0, stop: Optional[int] = None
+    ) -> np.ndarray:
+        """Validity mask over ``[start, stop)`` as a boolean array."""
+        meta = self.house_meta(house_id)
+        stop = meta.n_samples if stop is None else stop
+        return self._read_row(house_id, meta.mask_row, start, stop) > 0.0
+
+    def read_channel(
+        self,
+        house_id: str,
+        channel: str,
+        start: int = 0,
+        stop: Optional[int] = None,
+        nan_gaps: bool = False,
+    ) -> np.ndarray:
+        """Read one channel over ``[start, stop)`` as float32 Watts.
+
+        With ``nan_gaps=False`` (the default) the stored values come back
+        NaN-free (aggregate gaps read as ``0.0``) and in-shard ranges are
+        zero-copy memmap views.  ``nan_gaps=True`` writes NaN over masked
+        positions — for the aggregate this reconstructs the
+        post-preprocessing gaps exactly (a copy is made only when the
+        range contains one); submeter channels keep real readings at
+        masked positions, so leave it off for them.
+        """
+        meta = self.house_meta(house_id)
+        stop = meta.n_samples if stop is None else stop
+        values = self._read_row(house_id, meta.channel_row(channel), start, stop)
+        if not nan_gaps:
+            return values
+        mask = self.read_mask(house_id, start, stop)
+        if mask.all():
+            return values
+        values = np.array(values, dtype=np.float32)
+        values[~mask] = np.nan
+        return values
+
+    def aggregate(self, house_id: str, nan_gaps: bool = True) -> np.ndarray:
+        """The household's full aggregate series (gaps as NaN by default)."""
+        return self.read_channel(house_id, AGGREGATE_CHANNEL, nan_gaps=nan_gaps)
+
+    def iter_sample_ranges(
+        self, house_id: str
+    ) -> Iterator[Tuple[int, int]]:
+        """Shard-aligned ``(start, stop)`` sample ranges covering the house."""
+        n = self.n_samples(house_id)
+        for start in range(0, n, self.shard_length):
+            yield start, min(start + self.shard_length, n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MeterStore {self.name!r} at {self.path!r}: "
+            f"{len(self)} households, {self.total_samples()} samples>"
+        )

@@ -1,0 +1,215 @@
+"""Streaming window reader over a :class:`MeterStore`.
+
+:class:`StreamingWindows` turns an ingested store into the exact window
+pool the in-memory pipeline produces (``repro.simdata.slice_windows``
+over forward-filled series), without ever materializing a household's
+full recording:
+
+* the index pass reads only the per-sample validity **mask** (one shard
+  row) to find the non-overlapping windows free of residual gaps — the
+  paper's "subsequences containing any remaining missing values after our
+  preprocessing are discarded";
+* ``__getitem__`` touches exactly one window's worth of each needed
+  channel: the raw aggregate view is a zero-copy ``np.memmap`` slice
+  whenever the window lies inside a single shard, and only the per-window
+  /1000 scaling and status thresholding allocate;
+* it is an :class:`repro.nn.data.Dataset`, so ``DataLoader`` batches it
+  unchanged, and it duck-types :class:`repro.simdata.WindowSet`
+  (``inputs`` / ``strong`` / ``weak`` / ``aggregate_watts`` /
+  ``power_watts``, materialized lazily and cached), so ``train_ensemble``,
+  ``labels_for`` and every experiment runner consume it unchanged — with
+  bit-identical arrays.
+
+Shuffling is the consumer's job (``DataLoader(shuffle=True, seed=…)``);
+:meth:`shuffled_indices` exposes the same deterministic permutation for
+custom loops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.data import Dataset
+from ..simdata.appliances import get_spec
+from ..simdata.preprocessing import (
+    DEFAULT_WINDOW,
+    WindowSet,
+    on_status,
+    scale_aggregate,
+)
+from .store import AGGREGATE_CHANNEL, MeterStore
+
+
+class StreamingWindows(Dataset):
+    """Model-ready windows for one appliance, streamed from a store.
+
+    Args:
+        store: an ingested :class:`MeterStore`.
+        appliance: target appliance; its Table-I ON threshold labels the
+            windows unless ``threshold_watts`` overrides it.
+        house_ids: households to pool, in order (default: every house in
+            the store).  Houses without the appliance submeter contribute
+            all-OFF labels, exactly like the in-memory path.
+        window: non-overlapping window length ``w`` (paper default 510).
+        threshold_watts: ON-power threshold for the status labels.
+    """
+
+    def __init__(
+        self,
+        store: MeterStore,
+        appliance: str,
+        house_ids: Optional[Sequence[str]] = None,
+        window: int = DEFAULT_WINDOW,
+        threshold_watts: Optional[float] = None,
+    ):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.store = store
+        self.appliance = appliance
+        self.window = int(window)
+        self.house_ids = list(store.house_ids if house_ids is None else house_ids)
+        self.threshold_watts = float(
+            get_spec(appliance).on_threshold_watts
+            if threshold_watts is None
+            else threshold_watts
+        )
+        self._materialized: Optional[WindowSet] = None
+
+        # Index pass: mask-only scan for complete, gap-free windows.
+        houses: List[str] = []
+        house_index: List[np.ndarray] = []
+        starts: List[np.ndarray] = []
+        for house_id in self.house_ids:
+            n_windows = store.n_samples(house_id) // self.window
+            if n_windows == 0:
+                continue
+            mask = store.read_mask(house_id, 0, n_windows * self.window)
+            valid = mask.reshape(n_windows, self.window).all(axis=1)
+            house_starts = np.flatnonzero(valid).astype(np.int64) * self.window
+            if len(house_starts) == 0:
+                continue
+            house_index.append(np.full(len(house_starts), len(houses), dtype=np.int32))
+            starts.append(house_starts)
+            houses.append(house_id)
+        self._houses: Tuple[str, ...] = tuple(houses)
+        self._house_index = (
+            np.concatenate(house_index) if house_index else np.zeros(0, dtype=np.int32)
+        )
+        self._starts = (
+            np.concatenate(starts) if starts else np.zeros(0, dtype=np.int64)
+        )
+
+    # -- dataset protocol --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(input, strong, weak)`` for one window.
+
+        ``input`` is the /1000-scaled aggregate ``(w,)``, ``strong`` the
+        per-timestamp status ``(w,)``, ``weak`` the scalar window label.
+        """
+        raw = self.raw_window(index)
+        strong = on_status(self.power_window(index), self.threshold_watts)
+        weak = (strong.max() > 0).astype(np.float32)
+        return scale_aggregate(raw), strong, weak
+
+    def _locate(self, index: int) -> Tuple[str, int]:
+        index = int(index)
+        if not -len(self) <= index < len(self):
+            raise IndexError(f"window {index} out of range [0, {len(self)})")
+        index %= len(self)
+        return self._houses[self._house_index[index]], int(self._starts[index])
+
+    def raw_window(self, index: int) -> np.ndarray:
+        """Unscaled aggregate Watts ``(w,)`` — a zero-copy view when the
+        window does not straddle a shard boundary."""
+        house_id, start = self._locate(index)
+        return self.store.read_channel(
+            house_id, AGGREGATE_CHANNEL, start, start + self.window
+        )
+
+    def power_window(self, index: int) -> np.ndarray:
+        """Ground-truth appliance power ``(w,)`` (zeros when unsubmetered)."""
+        house_id, start = self._locate(index)
+        if self.appliance in self.store.house_meta(house_id).channels:
+            return self.store.read_channel(
+                house_id, self.appliance, start, start + self.window
+            )
+        return np.zeros(self.window, dtype=np.float32)
+
+    def window_house(self, index: int) -> str:
+        """Which household window ``index`` comes from."""
+        return self._locate(index)[0]
+
+    def shuffled_indices(self, seed: int) -> np.ndarray:
+        """Deterministic seeded permutation of the window indices."""
+        return np.random.default_rng(seed).permutation(len(self))
+
+    # -- WindowSet duck-typing (lazy, cached) ------------------------------
+    def as_window_set(self) -> WindowSet:
+        """Materialize into an in-memory :class:`~repro.simdata.WindowSet`.
+
+        The arrays are bit-identical to preprocessing the same corpus in
+        memory (``forward_fill`` + ``slice_windows``); the result is
+        cached, so the array properties below cost one pass total.
+        """
+        if self._materialized is None:
+            n, w = len(self), self.window
+            aggregate = np.empty((n, w), dtype=np.float32)
+            power = np.empty((n, w), dtype=np.float32)
+            for i in range(n):
+                aggregate[i] = self.raw_window(i)
+                power[i] = self.power_window(i)
+            strong = on_status(power, self.threshold_watts)
+            self._materialized = WindowSet(
+                inputs=scale_aggregate(aggregate),
+                strong=strong,
+                weak=(strong.max(axis=1) > 0).astype(np.float32) if n else np.zeros(0, dtype=np.float32),
+                aggregate_watts=aggregate,
+                power_watts=power,
+                house_id="+".join(self._houses),
+            )
+        return self._materialized
+
+    @property
+    def inputs(self) -> np.ndarray:
+        return self.as_window_set().inputs
+
+    @property
+    def strong(self) -> np.ndarray:
+        return self.as_window_set().strong
+
+    @property
+    def weak(self) -> np.ndarray:
+        return self.as_window_set().weak
+
+    @property
+    def aggregate_watts(self) -> np.ndarray:
+        return self.as_window_set().aggregate_watts
+
+    @property
+    def power_watts(self) -> np.ndarray:
+        return self.as_window_set().power_watts
+
+    @property
+    def house_id(self) -> str:
+        return "+".join(self._houses)
+
+    @property
+    def n_strong_labels(self) -> int:
+        """Label cost if trained fully supervised: w per window."""
+        return len(self) * self.window
+
+    @property
+    def n_weak_labels(self) -> int:
+        """Label cost if trained weakly: one per window."""
+        return len(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<StreamingWindows {self.appliance!r} w={self.window}: "
+            f"{len(self)} windows from {len(self._houses)} households>"
+        )

@@ -52,6 +52,7 @@ from .runner import (
     CaseResult,
     build_corpus,
     case_windows,
+    case_windows_from_store,
     create_model,
     evaluate_status,
     fit_on_case,
@@ -87,6 +88,7 @@ __all__ = [
     "CaseResult",
     "build_corpus",
     "case_windows",
+    "case_windows_from_store",
     "house_windows",
     "create_model",
     "fit_on_case",

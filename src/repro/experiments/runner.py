@@ -45,7 +45,13 @@ def build_corpus(name: str, preset: Preset, seed: int = 0) -> sd.Corpus:
 
 @dataclass
 class CaseData:
-    """Model-ready windows for one dataset x appliance case."""
+    """Model-ready windows for one dataset x appliance case.
+
+    The three pools are :class:`repro.simdata.WindowSet`-shaped; the
+    store-backed path (:func:`case_windows_from_store`) fills them with
+    :class:`repro.data.StreamingWindows`, whose arrays are bit-identical
+    but stream from disk shards on demand.
+    """
 
     corpus: str
     appliance: str
@@ -84,6 +90,37 @@ def case_windows(
 
     return CaseData(
         corpus=corpus.name,
+        appliance=appliance,
+        train=pool(split.train),
+        val=pool(split.val),
+        test=pool(split.test),
+    )
+
+
+def case_windows_from_store(
+    store, appliance: str, window: int, split_seed: int = 0
+) -> CaseData:
+    """Build a case from an ingested :class:`repro.data.MeterStore`.
+
+    The store stands in for the corpus end to end: the manifest carries
+    the submetered-house list, so :func:`repro.simdata.split_houses`
+    produces the exact split of the in-memory path, and each pool is a
+    :class:`~repro.data.StreamingWindows` whose windows and labels are
+    bit-identical to :func:`case_windows` on the source corpus —
+    ``fit_on_case`` / ``run_model`` / ``run_camal`` consume the result
+    unchanged.
+    """
+    from ..data import StreamingWindows
+
+    split = sd.split_houses(store, seed=split_seed)
+
+    def pool(house_ids) -> "StreamingWindows":
+        return StreamingWindows(
+            store, appliance, house_ids=house_ids, window=window
+        )
+
+    return CaseData(
+        corpus=store.name,
         appliance=appliance,
         train=pool(split.train),
         val=pool(split.val),

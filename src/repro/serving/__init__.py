@@ -12,15 +12,20 @@ budget.  This package provides that layer:
   per-appliance :class:`~repro.core.CamAL` pipelines, windows the
   aggregate once, runs all appliances over the shared window batch with
   micro-batching and an optional LRU result cache, and returns stitched
-  per-timestamp status covering 100 % of the input.
+  per-timestamp status covering 100 % of the input.  Its
+  :meth:`~InferenceEngine.score_store` bulk path streams every household
+  of an ingested :class:`repro.data.MeterStore` in shard-sized chunks.
 
-See ``docs/serving.md`` for the windowing/stitching semantics.
+See ``docs/serving.md`` for the windowing/stitching semantics and
+``docs/data.md`` for the store-backed bulk path.
 """
 
 from .engine import (
     ApplianceSeriesResult,
+    ApplianceStoreScores,
     EngineConfig,
     HouseholdInference,
+    HouseholdScores,
     InferenceEngine,
 )
 from .windowing import (
@@ -41,4 +46,6 @@ __all__ = [
     "InferenceEngine",
     "ApplianceSeriesResult",
     "HouseholdInference",
+    "ApplianceStoreScores",
+    "HouseholdScores",
 ]

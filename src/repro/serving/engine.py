@@ -19,7 +19,12 @@ workload shape for deployment:
   short-circuits windows already scored — flat overnight stretches and
   re-analyzed days hit the cache instead of the conv stack;
 * per-window soft scores are stitched (overlap mean, then threshold) into
-  a per-timestamp status covering 100 % of the input, including the tail.
+  a per-timestamp status covering 100 % of the input, including the tail;
+* :meth:`InferenceEngine.score_store` is the bulk path over an ingested
+  :class:`repro.data.MeterStore`: households stream shard-sized window
+  chunks through the same pipelines and stitcher, so scoring a long
+  recording never materializes its full window batch — peak memory is
+  bounded by the chunk (≈ one shard), not the series.
 """
 
 from __future__ import annotations
@@ -27,13 +32,17 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from ..core.localization import LocalizationOutput
 from ..simdata.preprocessing import SCALE_DIVISOR
 from .windowing import SlidingWindowPlan, plan_windows, slice_windows, stitch_mean
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..data.store import MeterStore
 
 #: Cached per-window result: (probability, detected flag, cam row, soft
 #: row, status row) — the *complete* ``LocalizationOutput`` row, so a
@@ -90,6 +99,86 @@ class HouseholdInference:
 
     def __iter__(self):
         return iter(self.per_appliance.items())
+
+
+@dataclass
+class ApplianceStoreScores:
+    """One appliance's stitched output for one stored household.
+
+    The bulk path keeps the per-timestamp series but **not** the
+    ``(n_windows, window)`` batch arrays — retaining those would defeat
+    the bounded-memory contract of :meth:`InferenceEngine.score_store`.
+    """
+
+    appliance: str
+    soft_status: np.ndarray  # (T,) stitched soft score
+    status: np.ndarray  # (T,) stitched binary status
+    n_windows: int
+    n_detected: int
+    cache_hits: int = 0
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of windows where the appliance was detected."""
+        return self.n_detected / self.n_windows if self.n_windows else 0.0
+
+
+@dataclass
+class HouseholdScores:
+    """Everything :meth:`InferenceEngine.score_store` yields per household."""
+
+    house_id: str
+    plan: SlidingWindowPlan
+    per_appliance: Dict[str, ApplianceStoreScores] = field(default_factory=dict)
+
+    @property
+    def n_samples(self) -> int:
+        return self.plan.series_length
+
+    def status(self, appliance: str) -> np.ndarray:
+        return self.per_appliance[appliance].status
+
+    def __iter__(self):
+        return iter(self.per_appliance.items())
+
+
+class _ChunkStitcher:
+    """Incremental :func:`stitch_mean` over in-order window chunks.
+
+    Reproduces the full-batch stitcher bit-for-bit: the non-overlapping
+    fast path concatenates float32 rows, the overlapping path accumulates
+    float64 sums/counts in the same window order before one division.
+    """
+
+    def __init__(self, plan: SlidingWindowPlan):
+        self.plan = plan
+        if plan.stride == plan.window:
+            self._flat: Optional[np.ndarray] = np.zeros(
+                plan.padded_length, dtype=np.float32
+            )
+            self._sums = self._counts = None
+        else:
+            self._flat = None
+            self._sums = np.zeros(plan.padded_length, dtype=np.float64)
+            self._counts = np.zeros(plan.padded_length, dtype=np.float64)
+
+    def add(self, first_window: int, values: np.ndarray) -> None:
+        """Fold in scores for windows ``first_window .. first_window+len``."""
+        start = self.plan.window_start(first_window)
+        if self._flat is not None:
+            stop = start + values.size
+            self._flat[start:stop] = values.reshape(-1)
+            return
+        for row in values:
+            self._sums[start : start + self.plan.window] += row
+            self._counts[start : start + self.plan.window] += 1.0
+            start += self.plan.stride
+
+    def finalize(self) -> np.ndarray:
+        n = self.plan.series_length
+        if self._flat is not None:
+            return self._flat[:n].copy()
+        return (self._sums[:n] / self._counts[:n]).astype(np.float32)
 
 
 class InferenceEngine:
@@ -288,3 +377,111 @@ class InferenceEngine:
             status=status,
         )
         return output, hits
+
+    # -- bulk path over an ingested store ---------------------------------
+    def score_store(
+        self,
+        store: "MeterStore",
+        house_ids: Optional[Iterable[str]] = None,
+        appliances: Optional[Iterable[str]] = None,
+        chunk_windows: Optional[int] = None,
+    ) -> Iterator[Tuple[str, HouseholdScores]]:
+        """Stream every household of a :class:`repro.data.MeterStore`.
+
+        Generator yielding ``(house_id, HouseholdScores)`` — results are
+        bit-identical to :meth:`run` on the household's materialized
+        series (gaps beyond the ingest fill bound read as 0 W, exactly as
+        the reporting path serves them), but the aggregate is consumed in
+        shard-sized window chunks: at no point does the engine hold a
+        household's full ``(n_windows, window)`` batch, so peak memory is
+        bounded by the chunk size plus the per-timestamp outputs.
+
+        Args:
+            store: an ingested meter store.
+            house_ids: subset of households (default: every house).
+            appliances: subset of registered appliances (default: all).
+            chunk_windows: windows scored per chunk; defaults to roughly
+                one shard's worth, rounded up to a whole number of
+                ``batch_size`` micro-batches.
+        """
+        # Validate eagerly (this is not the generator) so a bad appliance
+        # name raises at the call site, exactly like run().
+        names = list(self.pipelines) if appliances is None else list(appliances)
+        for name in names:
+            if name not in self.pipelines:
+                raise KeyError(f"no pipeline registered for appliance {name!r}")
+        houses = list(store.house_ids if house_ids is None else house_ids)
+        if chunk_windows is not None and chunk_windows <= 0:
+            raise ValueError(f"chunk_windows must be positive, got {chunk_windows}")
+
+        def scores() -> Iterator[Tuple[str, HouseholdScores]]:
+            for house_id in houses:
+                yield house_id, self._score_household(
+                    store, house_id, names, chunk_windows
+                )
+
+        return scores()
+
+    def _chunk_windows_default(self, plan: SlidingWindowPlan, shard_length: int) -> int:
+        """Shard-sized chunking, aligned to whole ``batch_size`` batches."""
+        per_shard = max(1, shard_length // plan.stride)
+        batch = self.config.batch_size
+        return max(batch, -(-per_shard // batch) * batch)
+
+    def _score_household(
+        self,
+        store: "MeterStore",
+        house_id: str,
+        names: List[str],
+        chunk_windows: Optional[int],
+    ) -> HouseholdScores:
+        from ..data.store import AGGREGATE_CHANNEL
+
+        n = store.n_samples(house_id)
+        plan = plan_windows(n, self.config.window, self.config.stride)
+        chunk = chunk_windows or self._chunk_windows_default(plan, store.shard_length)
+
+        stitchers = {name: _ChunkStitcher(plan) for name in names}
+        detected = {name: 0 for name in names}
+        hits = {name: 0 for name in names}
+        for first in range(0, plan.n_windows, chunk):
+            last = min(first + chunk, plan.n_windows)
+            start = plan.window_start(first)
+            stop = plan.window_start(last - 1) + plan.window
+            raw = store.read_channel(
+                house_id, AGGREGATE_CHANNEL, start, min(stop, n)
+            )
+            scaled = np.asarray(raw, dtype=np.float32) / SCALE_DIVISOR
+            if stop > n:  # tail chunk: repeat the last real sample
+                scaled = np.pad(scaled, (0, stop - n), mode="edge")
+            windows = np.ascontiguousarray(
+                sliding_window_view(scaled, plan.window)[:: plan.stride]
+            )
+            for name in names:
+                output, chunk_hits = self._localize_cached(
+                    name, self.pipelines[name], windows
+                )
+                stitchers[name].add(first, output.soft_status)
+                detected[name] += int(output.detected.sum())
+                hits[name] += chunk_hits
+
+        result = HouseholdScores(house_id=house_id, plan=plan)
+        for name in names:
+            pipeline = self.pipelines[name]
+            soft = stitchers[name].finalize()
+            status = (soft >= self._status_threshold(pipeline)).astype(np.float32)
+            gate = getattr(pipeline, "power_gate_watts", None)
+            if gate is not None:
+                # Same series-level re-gate as run(), one shard at a time.
+                for lo, hi in store.iter_sample_ranges(house_id):
+                    watts = store.read_channel(house_id, AGGREGATE_CHANNEL, lo, hi)
+                    status[lo:hi] *= (watts >= gate).astype(np.float32)
+            result.per_appliance[name] = ApplianceStoreScores(
+                appliance=name,
+                soft_status=soft,
+                status=status,
+                n_windows=plan.n_windows,
+                n_detected=detected[name],
+                cache_hits=hits[name],
+            )
+        return result

@@ -18,25 +18,38 @@ SCALE_DIVISOR = 1000.0  # paper: divide aggregate input by 1000
 DEFAULT_WINDOW = 510  # paper: non-overlapping window length w = 510
 
 
-def resample_average(series: np.ndarray, factor: int) -> np.ndarray:
+def _nanmean_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Row-wise mean of the valid samples; all-NaN rows stay NaN."""
+    with np.errstate(invalid="ignore"):
+        valid = ~np.isnan(blocks)
+        counts = valid.sum(axis=1)
+        sums = np.where(valid, blocks, 0.0).sum(axis=1)
+        return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+
+def resample_average(
+    series: np.ndarray, factor: int, keep_tail: bool = False
+) -> np.ndarray:
     """Downsample by integer ``factor`` via interval averaging.
 
     NaNs propagate: an interval whose samples are all NaN stays NaN, a
     partially observed interval averages its valid samples (this mirrors
     "readjusting recorded values to round timestamps by averaging").
-    Trailing samples that do not fill a whole interval are dropped.
+    Trailing samples that do not fill a whole interval are dropped by
+    default; with ``keep_tail=True`` the partial trailing block is
+    averaged into one final output sample instead (mirroring the serving
+    layer's edge-padded tail — no recorded sample is lost), which is what
+    the :mod:`repro.data` ingest path uses.
     """
     if factor <= 0:
         raise ValueError("factor must be positive")
     if factor == 1:
         return series.copy()
     n = (len(series) // factor) * factor
-    blocks = series[:n].reshape(-1, factor)
-    with np.errstate(invalid="ignore"):
-        valid = ~np.isnan(blocks)
-        counts = valid.sum(axis=1)
-        sums = np.where(valid, blocks, 0.0).sum(axis=1)
-        out = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    out = _nanmean_blocks(series[:n].reshape(-1, factor))
+    if keep_tail and n < len(series):
+        tail = _nanmean_blocks(series[n:].reshape(1, -1))
+        out = np.concatenate([out, tail])
     return out.astype(series.dtype)
 
 
@@ -53,17 +66,21 @@ def forward_fill(series: np.ndarray, max_gap: int) -> np.ndarray:
     if not isnan.any() or max_gap == 0:
         return out
     n = len(out)
-    i = 0
-    while i < n:
-        if not isnan[i]:
-            i += 1
-            continue
-        start = i
-        while i < n and isnan[i]:
-            i += 1
-        gap = i - start
-        if gap <= max_gap and start > 0:
-            out[start:i] = out[start - 1]
+    # Vectorized run-length fill (this is the repro.data ingest hot path):
+    # locate every NaN run, keep those short enough and not at the series
+    # head, and copy each run's preceding valid sample over it.
+    edges = np.diff(np.concatenate(([0], isnan.view(np.int8), [0])))
+    starts = np.flatnonzero(edges == 1)
+    ends = np.flatnonzero(edges == -1)
+    fillable = (ends - starts <= max_gap) & (starts > 0)
+    if not fillable.any():
+        return out
+    delta = np.zeros(n + 1, dtype=np.int8)
+    delta[starts[fillable]] = 1
+    delta[ends[fillable]] = -1
+    fill_idx = np.flatnonzero(np.cumsum(delta[:-1], dtype=np.int64))
+    last_valid = np.maximum.accumulate(np.where(~isnan, np.arange(n), -1))
+    out[fill_idx] = out[last_valid[fill_idx]]
     return out
 
 

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cli import COMMANDS, build_parser, build_train_parser, main
+from repro.cli import (
+    COMMANDS,
+    build_data_parser,
+    build_parser,
+    build_train_parser,
+    main,
+)
 
 
 class TestParser:
@@ -103,6 +109,96 @@ class TestModelsCommand:
 
     def test_models_not_in_experiment_commands(self):
         assert "models" not in COMMANDS
+
+
+class TestDataParser:
+    def test_ingest_flags_parsed(self):
+        args = build_data_parser().parse_args(
+            [
+                "ingest", "--corpus", "refit", "--out", "stores/refit",
+                "--days", "3.5", "--houses", "6", "--seed", "2",
+                "--resample", "2", "--max-ffill", "5", "--shard-length", "4096",
+                "--workers", "3", "--drop-tail",
+            ]
+        )
+        assert args.action == "ingest"
+        assert args.corpus == "refit"
+        assert args.out == "stores/refit"
+        assert args.days == 3.5
+        assert args.houses == 6
+        assert args.resample == 2
+        assert args.max_ffill == 5
+        assert args.shard_length == 4096
+        assert args.workers == 3
+        assert args.drop_tail
+
+    def test_ingest_requires_one_source(self):
+        with pytest.raises(SystemExit):
+            build_data_parser().parse_args(["ingest", "--out", "x"])
+        with pytest.raises(SystemExit):
+            build_data_parser().parse_args(
+                ["ingest", "--corpus", "ukdale", "--csv", "d", "--out", "x"]
+            )
+
+    def test_info_and_windows_parsed(self):
+        args = build_data_parser().parse_args(["info", "stores/ukdale"])
+        assert args.action == "info" and args.store == "stores/ukdale"
+        args = build_data_parser().parse_args(
+            ["windows", "stores/ukdale", "--appliance", "kettle", "--window", "64"]
+        )
+        assert args.action == "windows"
+        assert args.appliance == "kettle"
+        assert args.window == 64
+
+    def test_unknown_corpus_rejected(self):
+        with pytest.raises(SystemExit):
+            build_data_parser().parse_args(
+                ["ingest", "--corpus", "nope", "--out", "x"]
+            )
+
+    def test_data_not_in_experiment_commands(self):
+        assert "data" not in COMMANDS
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["data"])
+
+
+class TestDataExecution:
+    def test_ingest_info_windows_end_to_end(self, capsys, tmp_path):
+        """`repro data` builds a store that info/windows can read back."""
+        store_dir = str(tmp_path / "store")
+        argv = [
+            "data", "ingest", "--corpus", "ukdale", "--days", "1",
+            "--houses", "3", "--out", store_dir, "--shard-length", "512",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Ingested 'ukdale'" in out
+        assert "samples/s" in out
+
+        assert main(["data", "info", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Store 'ukdale'" in out
+        assert "ukdale_h1" in out
+        assert "preprocessing" in out
+
+        argv = ["data", "windows", store_dir, "--appliance", "kettle", "--window", "64"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Streamable windows" in out
+        assert "pooled:" in out
+
+        from repro.data import MeterStore
+
+        store = MeterStore(store_dir)
+        assert len(store) == 3
+        assert store.shard_length == 512
+
+    def test_csv_ingest_requires_dt_and_ffill(self, tmp_path):
+        (tmp_path / "csv" / "h1").mkdir(parents=True)
+        (tmp_path / "csv" / "h1" / "aggregate.csv").write_text("1.0\n2.0\n")
+        with pytest.raises(SystemExit, match="--dt-seconds"):
+            main(["data", "ingest", "--csv", str(tmp_path / "csv"),
+                  "--out", str(tmp_path / "s")])
 
 
 class TestExecution:

@@ -37,6 +37,38 @@ class TestResample:
         with pytest.raises(ValueError):
             sd.resample_average(np.zeros(4), 0)
 
+    def test_keep_tail_averages_partial_block(self):
+        x = np.arange(7.0)  # tail block = [6.0]
+        out = sd.resample_average(x, 3, keep_tail=True)
+        assert np.allclose(out, [1.0, 4.0, 6.0])
+
+    def test_keep_tail_mean_of_tail_samples(self):
+        x = np.array([2.0, 4.0, 10.0, 20.0, 30.0])
+        out = sd.resample_average(x, 2, keep_tail=True)
+        assert out[-1] == pytest.approx(30.0)
+        out = sd.resample_average(np.append(x, 40.0), 4, keep_tail=True)
+        assert out[-1] == pytest.approx(35.0)
+
+    def test_keep_tail_noop_on_aligned_length(self):
+        x = np.arange(6.0)
+        assert np.array_equal(
+            sd.resample_average(x, 3, keep_tail=True), sd.resample_average(x, 3)
+        )
+
+    def test_keep_tail_nan_handling(self):
+        x = np.array([1.0, 1.0, np.nan, 3.0])
+        out = sd.resample_average(x, 3, keep_tail=True)
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(3.0)
+        all_nan_tail = sd.resample_average(
+            np.array([1.0, 1.0, np.nan]), 2, keep_tail=True
+        )
+        assert np.isnan(all_nan_tail[-1])
+
+    def test_keep_tail_preserves_dtype(self):
+        x = np.arange(5, dtype=np.float32)
+        assert sd.resample_average(x, 2, keep_tail=True).dtype == np.float32
+
 
 class TestForwardFill:
     def test_fills_short_gaps(self):
@@ -73,6 +105,63 @@ class TestForwardFill:
     def test_negative_gap_raises(self):
         with pytest.raises(ValueError):
             sd.forward_fill(np.zeros(3), -1)
+
+    @staticmethod
+    def _forward_fill_reference(series, max_gap):
+        """Pre-vectorization per-sample implementation, kept as the oracle."""
+        out = series.copy()
+        isnan = np.isnan(out)
+        if not isnan.any() or max_gap == 0:
+            return out
+        n = len(out)
+        i = 0
+        while i < n:
+            if not isnan[i]:
+                i += 1
+                continue
+            start = i
+            while i < n and isnan[i]:
+                i += 1
+            if i - start <= max_gap and start > 0:
+                out[start:i] = out[start - 1]
+        return out
+
+    @pytest.mark.parametrize("max_gap", [1, 2, 3, 7])
+    def test_matches_reference_on_random_nan_runs(self, max_gap):
+        """The vectorized fill is sample-identical to the per-sample loop."""
+        rng = np.random.default_rng(42 + max_gap)
+        for trial in range(20):
+            n = int(rng.integers(1, 400))
+            x = rng.normal(300.0, 150.0, n).astype(np.float32)
+            # Knock out NaN runs of varied lengths, straddling max_gap.
+            for _ in range(int(rng.integers(0, 12))):
+                start = int(rng.integers(0, n))
+                span = int(rng.integers(1, 2 * max_gap + 3))
+                x[start : start + span] = np.nan
+            got = sd.forward_fill(x, max_gap)
+            want = self._forward_fill_reference(x, max_gap)
+            assert np.array_equal(got, want, equal_nan=True)
+            assert got.dtype == want.dtype
+
+    def test_matches_reference_edge_patterns(self):
+        patterns = [
+            np.array([np.nan]),
+            np.array([np.nan, np.nan, np.nan]),
+            np.array([1.0]),
+            np.array([np.nan, 1.0, np.nan]),
+            np.array([1.0, np.nan]),
+            np.array([np.nan, np.nan, 2.0, np.nan, np.nan, 3.0, np.nan]),
+        ]
+        for x in patterns:
+            for max_gap in (0, 1, 2, 5):
+                got = sd.forward_fill(x, max_gap)
+                want = self._forward_fill_reference(x, max_gap)
+                assert np.array_equal(got, want, equal_nan=True), (x, max_gap)
+
+    def test_trailing_gap_within_bound_filled(self):
+        x = np.array([1.0, 2.0, np.nan, np.nan])
+        out = sd.forward_fill(x, max_gap=2)
+        assert np.allclose(out, [1.0, 2.0, 2.0, 2.0])
 
 
 class TestStatusAndScaling:
