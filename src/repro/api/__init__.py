@@ -44,6 +44,7 @@ from .registry import (
     ModelEntry,
     available_models,
     canonical_name,
+    conv_shapes,
     create,
     get_entry,
     parse_model_spec,
@@ -61,6 +62,7 @@ __all__ = [
     "get_entry",
     "available_models",
     "canonical_name",
+    "conv_shapes",
     "parse_model_spec",
     "CamALLocalizer",
     "Seq2SeqLocalizer",

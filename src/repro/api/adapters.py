@@ -30,6 +30,7 @@ from .. import baselines as bl
 from .. import nn
 from ..core.ensemble import EnsembleConfig, TrainedCandidate, train_ensemble
 from ..core.localization import CamAL, LocalizationOutput
+from ..core.resnet import ensemble_conv_shapes
 from ..simdata.preprocessing import SCALE_DIVISOR
 from ..training import (
     TrainConfig,
@@ -346,6 +347,7 @@ register(
     config_cls=EnsembleConfig,
     factory=_camal_factory,
     supervision="weak",
+    conv_shapes=lambda cfg: ensemble_conv_shapes(cfg.filters, cfg.kernel_set),
     description="CamAL: ResNet detection ensemble + CAM localization (the paper's method)",
     scales={
         "paper": {

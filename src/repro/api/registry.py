@@ -41,6 +41,11 @@ class ModelEntry:
     network_cls: Optional[type] = None
     #: Scale name -> config-field overrides applied on top of defaults.
     scales: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    #: Optional ``fn(config) -> [(C_in, C_out, K), ...]`` enumerating the
+    #: model's convolution signatures at that config — the workload
+    #: description consumed by ``benchmarks/bench_nn_ops.py`` and backend
+    #: autotuner warm-up (see :func:`conv_shapes`).
+    conv_shapes_fn: Optional[Callable[[object], List[Tuple[int, int, int]]]] = None
 
     def config(self, scale: str = "paper", seed: int = 0, **overrides):
         """Build this model's config dataclass at a named scale."""
@@ -72,6 +77,7 @@ def register(
     supervision: str,
     description: str = "",
     network_cls: Optional[type] = None,
+    conv_shapes: Optional[Callable[[object], List[Tuple[int, int, int]]]] = None,
     replace: bool = False,
 ) -> ModelEntry:
     """Register an estimator type under ``name`` (lower-cased)."""
@@ -90,6 +96,7 @@ def register(
         factory=factory,
         network_cls=network_cls,
         scales={k: dict(v) for k, v in scales.items()},
+        conv_shapes_fn=conv_shapes,
     )
     _REGISTRY[key] = entry
     return entry
@@ -135,6 +142,21 @@ def create(
     if config is None:
         config = entry.config(scale=scale, seed=seed)
     return entry.factory(config, train=train, **kwargs)
+
+
+def conv_shapes(
+    name: str, scale: str = "paper", **overrides
+) -> List[Tuple[int, int, int]]:
+    """Distinct ``(C_in, C_out, K)`` conv signatures of a registered model.
+
+    The ``paper`` scale of ``"camal"`` yields the Table-II ResNet-ensemble
+    inventory that ``benchmarks/bench_nn_ops.py`` benchmarks per backend.
+    Raises :class:`ValueError` for models that do not declare their shapes.
+    """
+    entry = get_entry(name)
+    if entry.conv_shapes_fn is None:
+        raise ValueError(f"model {entry.name!r} does not declare conv shapes")
+    return entry.conv_shapes_fn(entry.config(scale=scale, **overrides))
 
 
 def parse_model_spec(spec: str) -> Tuple[str, Optional[str]]:

@@ -71,6 +71,16 @@ class ResNetEnsemble:
         if not models:
             raise ValueError("ensemble needs at least one model")
         self.models: List[ResNetTSC] = list(models)
+        #: Arena recycling conv scratch/outputs across fused micro-batches;
+        #: created on first use so a freshly loaded ensemble carries none.
+        self._pool: Optional[nn.backend.BufferPool] = None
+
+    @property
+    def buffer_pool(self) -> nn.backend.BufferPool:
+        """The pool :meth:`forward_fused` recycles buffers through."""
+        if self._pool is None:
+            self._pool = nn.backend.BufferPool()
+        return self._pool
 
     def __len__(self) -> int:
         return len(self.models)
@@ -109,8 +119,14 @@ class ResNetEnsemble:
         proba = np.zeros(n, dtype=np.float32)
         cam = np.zeros((n, length), dtype=np.float32)
         inv_members = 1.0 / len(self.models)
-        with nn.no_grad():
+        # The micro-batch loop runs through the ensemble's buffer pool:
+        # every batch's results are folded into the accumulators before
+        # pool.step() recycles that batch's conv scratch and feature maps,
+        # so steady-state scoring performs no large allocations.
+        pool = self.buffer_pool
+        with nn.no_grad(), nn.backend.use_pool(pool):
             for start in range(0, n, batch_size):
+                pool.step()
                 batch = Tensor(x[start : start + batch_size][:, None, :])
                 for model in self.models:
                     logits, feats = model.forward_with_features(batch)
@@ -122,6 +138,7 @@ class ResNetEnsemble:
                     )
                     proba[start : start + len(member_proba)] += member_proba * inv_members
                     cam[start : start + len(member_cam)] += member_cam * inv_members
+            pool.step()
         return FusedForwardOutput(proba=proba, cam=cam)
 
     def num_parameters(self) -> int:

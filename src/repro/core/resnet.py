@@ -18,10 +18,12 @@ applied to the last conv feature maps before pooling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .. import nn
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, is_grad_enabled
 
 #: Kernel sizes k_p used by the CamAL ensemble (paper §IV-A1).
 DEFAULT_KERNEL_SET: Tuple[int, ...] = (5, 7, 9, 15, 25)
@@ -42,7 +44,17 @@ class ResNetConfig:
 
 
 class ConvBlock(nn.Module):
-    """Conv1d -> BatchNorm -> ReLU (the paper's ConvBlock)."""
+    """Conv1d -> BatchNorm -> ReLU (the paper's ConvBlock).
+
+    In inference mode (``eval()`` + gradients disabled) the batch norm is
+    folded into the convolution weights — ``w' = w * gamma * inv_std`` and
+    ``b' = beta - running_mean * scale (+ b * scale)`` — so the block runs
+    as a single conv + ReLU with no separate normalization pass over the
+    feature maps.  The fold is recomputed from the live parameters on each
+    call (it is O(C_out * C_in * K), negligible next to the conv itself),
+    so it can never serve stale statistics after ``load_state_dict`` or a
+    train/eval round-trip.
+    """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int, seed: int):
         super().__init__()
@@ -50,7 +62,25 @@ class ConvBlock(nn.Module):
         self.norm = nn.BatchNorm1d(out_channels)
 
     def forward(self, x: Tensor) -> Tensor:
+        if not self.training and not is_grad_enabled():
+            return self._forward_folded(x)
         return self.norm(self.conv(x)).relu()
+
+    def _forward_folded(self, x: Tensor) -> Tensor:
+        norm, conv = self.norm, self.conv
+        inv_std = 1.0 / np.sqrt(norm.running_var + norm.eps)
+        scale = norm.gamma.data * inv_std
+        shift = norm.beta.data - norm.running_mean * scale
+        # The folded weight is only read inside the conv call, so it can
+        # come from the active buffer pool like the conv scratch does —
+        # steady-state fused serving re-folds into a recycled buffer.
+        folded = nn.backend.scratch(conv.weight.shape, conv.weight.dtype)
+        np.multiply(conv.weight.data, scale[:, None, None], out=folded)
+        if conv.bias is not None:
+            shift = shift + conv.bias.data * scale
+        return nn.functional.conv1d(
+            x, Tensor(folded), Tensor(shift), stride=conv.stride, padding=conv.padding
+        ).relu()
 
 
 class ResUnit(nn.Module):
@@ -115,3 +145,29 @@ class ResNetTSC(nn.Module):
         feats = self.features(x)
         pooled = nn.functional.global_avg_pool1d(feats)
         return self.head(pooled), feats
+
+
+def ensemble_conv_shapes(
+    filters: Sequence[int] = DEFAULT_FILTERS,
+    kernel_set: Sequence[int] = DEFAULT_KERNEL_SET,
+    in_channels: int = 1,
+) -> List[Tuple[int, int, int]]:
+    """Distinct ``(C_in, C_out, K)`` conv signatures of an Algorithm-1 ensemble.
+
+    Enumerates every convolution executed by a CamAL ensemble built from
+    ``kernel_set`` members with the given residual-unit ``filters`` — the
+    member-specific ``k_p`` blocks, the fixed kernel-5/kernel-3 blocks and
+    the 1x1 shortcuts.  ``benchmarks/bench_nn_ops.py`` uses the paper
+    preset's inventory as its Table-II workload, and it is the natural
+    warm-up set for the backend autotuner.
+    """
+    f1, f2, f3 = filters
+    shapes = set()
+    for k_p in kernel_set:
+        for c_in, c_out in ((in_channels, f1), (f1, f2), (f2, f3)):
+            shapes.add((c_in, c_out, k_p))  # block1 of each unit
+            shapes.add((c_out, c_out, 5))  # block2
+            shapes.add((c_out, c_out, 3))  # block3
+            if c_in != c_out:
+                shapes.add((c_in, c_out, 1))  # shortcut
+    return sorted(shapes)

@@ -6,7 +6,7 @@ autodiff (:mod:`repro.nn.tensor`), fused NN primitives
 serialization.  See DESIGN.md §2 for the substitution rationale.
 """
 
-from . import functional
+from . import backend, functional
 from .attention import MultiHeadSelfAttention, TransformerEncoderLayer
 from .data import DataLoader, Dataset, Subset, TensorDataset, balance_binary, random_split
 from .layers import (
@@ -38,11 +38,23 @@ from .optim import (
 )
 from .recurrent import GRU, GRUCell
 from .serialization import load_state, save_state
-from .tensor import Tensor, concat, no_grad, ones, stack, tensor, where, zeros
+from .tensor import (
+    Tensor,
+    concat,
+    graph_nodes_created,
+    no_grad,
+    ones,
+    stack,
+    tensor,
+    where,
+    zeros,
+)
 from .utils import check_gradients, count_parameters, one_hot, seed_everything
 
 __all__ = [
+    "backend",
     "functional",
+    "graph_nodes_created",
     "Tensor",
     "tensor",
     "zeros",

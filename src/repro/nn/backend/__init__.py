@@ -1,0 +1,165 @@
+"""``repro.nn.backend`` — pluggable convolution execution layer.
+
+Every model in the registry (CamAL and all six baselines) compiles down to
+the fused primitives of :mod:`repro.nn.functional`; this package decides
+*how* the dominant one — ``conv1d`` — executes:
+
+``reference``
+    The original strided-window ``np.tensordot`` path, kept bit-for-bit as
+    numerical ground truth.
+``im2col``
+    K slice-copies into a C-contiguous column buffer + one batched sgemm
+    per direction.  Bit-level batch-size invariant, fastest at the small-
+    and mid-kernel shapes — the **default**.
+``fft``
+    rfft/irfft batched over channels with per-frequency complex GEMMs;
+    wins at long-kernel / long-window shapes.
+``auto``
+    A shape-keyed autotuner: the first call per ``(N, C_in, C_out, K,
+    L_pad, stride)`` signature times the three kernels on the live
+    operands and caches the winner (optionally persisted — see
+    :mod:`repro.nn.backend.autotune`).
+
+Selection:
+
+* process default: the ``REPRO_NN_BACKEND`` environment variable
+  (``reference|im2col|fft|auto``), else ``im2col``;
+* programmatic: :func:`set_backend` or the :func:`use_backend` context
+  manager (used by tests and the serving engine's ``EngineConfig.backend``).
+
+The package also owns the :class:`BufferPool` arena used by inference mode
+(:func:`use_pool` / :func:`scratch`): with gradients disabled, conv scratch
+and outputs are recycled across micro-batches so steady-state scoring
+performs no large allocations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from . import fft, im2col, reference
+from .autotune import CACHE_ENV, ConvAutotuner, Signature
+from .pool import BufferPool, current_pool, scratch, use_pool
+
+__all__ = [
+    "BACKEND_ENV",
+    "CACHE_ENV",
+    "BufferPool",
+    "available_backends",
+    "autotune_cache_dirty",
+    "autotune_choices",
+    "clear_autotune_cache",
+    "current_pool",
+    "get_backend",
+    "load_autotune_cache",
+    "resolve_conv",
+    "save_autotune_cache",
+    "scratch",
+    "set_backend",
+    "use_backend",
+    "use_pool",
+]
+
+#: Environment variable selecting the process-wide default mode.
+BACKEND_ENV = "REPRO_NN_BACKEND"
+
+#: The concrete kernels, in autotuner candidate order.
+_KERNELS = {
+    im2col.NAME: im2col,
+    fft.NAME: fft,
+    reference.NAME: reference,
+}
+
+#: Valid values for :func:`set_backend` / ``REPRO_NN_BACKEND``.
+_MODES: Tuple[str, ...] = ("reference", "im2col", "fft", "auto")
+
+_DEFAULT_MODE = "im2col"
+
+_autotuner = ConvAutotuner(_KERNELS)
+
+
+def _validated(mode: str) -> str:
+    mode = str(mode).strip().lower()
+    if mode not in _MODES:
+        raise ValueError(f"unknown nn backend {mode!r}; choose from {_MODES}")
+    return mode
+
+
+def _mode_from_env() -> str:
+    raw = os.environ.get(BACKEND_ENV)
+    if not raw:
+        return _DEFAULT_MODE
+    return _validated(raw)
+
+
+_mode: str = _mode_from_env()
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The selectable modes (three kernels plus ``auto``)."""
+    return _MODES
+
+
+def get_backend() -> str:
+    """The currently active backend mode."""
+    return _mode
+
+
+def set_backend(mode: str) -> None:
+    """Set the process-wide backend mode (``reference|im2col|fft|auto``)."""
+    global _mode
+    _mode = _validated(mode)
+
+
+@contextlib.contextmanager
+def use_backend(mode: Optional[str]):
+    """Temporarily switch the backend mode; ``None`` is a no-op."""
+    if mode is None:
+        yield get_backend()
+        return
+    global _mode
+    previous = _mode
+    _mode = _validated(mode)
+    try:
+        yield _mode
+    finally:
+        _mode = previous
+
+
+def resolve_conv(x_pad: np.ndarray, weight: np.ndarray, stride: int):
+    """The kernel module that executes this conv1d call under the active mode."""
+    if _mode != "auto":
+        return _KERNELS[_mode]
+    n, c_in, l_pad = x_pad.shape
+    c_out, _, kernel = weight.shape
+    signature: Signature = (n, c_in, c_out, kernel, l_pad, stride)
+    return _KERNELS[_autotuner.choose(signature, x_pad, weight, stride)]
+
+
+# -- autotuner cache surface ----------------------------------------------
+def autotune_choices() -> Dict[Signature, str]:
+    """Copy of the tuned (signature -> kernel name) table."""
+    return _autotuner.choices
+
+
+def autotune_cache_dirty() -> bool:
+    """Whether the table holds entries not yet persisted by save_cache."""
+    return _autotuner.dirty
+
+
+def clear_autotune_cache() -> None:
+    _autotuner.clear()
+
+
+def load_autotune_cache(path: str) -> int:
+    """Merge a persisted autotune cache; returns the number of entries."""
+    return _autotuner.load_cache(path)
+
+
+def save_autotune_cache(path: str) -> None:
+    """Persist the in-process autotune cache as JSON."""
+    _autotuner.save_cache(path)

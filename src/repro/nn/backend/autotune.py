@@ -1,0 +1,140 @@
+"""Shape-keyed autotuner: first-call timing picks the conv kernel.
+
+Under the ``auto`` backend mode, the first conv1d call for each distinct
+``(N, C_in, C_out, K, L_pad, stride)`` signature times every registered
+kernel on the live operands (best of two runs each, forward only) and
+caches the winner in-process; subsequent calls with the same signature pay
+only a dict lookup.  The backward contractions always follow the forward's
+kernel, so a tuned signature stays internally consistent.
+
+The cache can be persisted as JSON (:func:`save_cache` / :func:`load_cache`)
+so long-lived deployments — e.g. a serving engine scoring a
+:class:`~repro.data.MeterStore` — skip the timing pass on restart; the
+serving engine wires this to ``EngineConfig.autotune_cache``, and the
+``REPRO_NN_AUTOTUNE_CACHE`` environment variable does the same for any
+process.
+
+Timing is inherently machine- and run-dependent, so ``auto`` does not
+promise a reproducible kernel choice across processes; pin ``reference``
+or ``im2col`` when bit-stability matters (see ``docs/nn.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+#: One conv call-site signature: (N, C_in, C_out, K, L_pad, stride).
+Signature = Tuple[int, int, int, int, int, int]
+
+#: Environment variable naming a JSON file the tuner loads at first use
+#: and rewrites whenever a new signature is tuned.
+CACHE_ENV = "REPRO_NN_AUTOTUNE_CACHE"
+
+#: Timing repetitions per candidate (best-of damps scheduler noise).
+TIMING_REPEATS = 2
+
+
+class ConvAutotuner:
+    """Per-process cache mapping conv signatures to kernel names."""
+
+    def __init__(self, kernels: Mapping[str, object]):
+        self._kernels = dict(kernels)
+        self._choices: Dict[Signature, str] = {}
+        self._env_loaded = False
+        #: True when the table holds entries not yet written by save_cache;
+        #: callers (e.g. the serving engine after each run) consult this to
+        #: avoid rewriting an unchanged JSON file on every scoring pass.
+        self.dirty = False
+
+    # -- cache plumbing ----------------------------------------------------
+    @property
+    def choices(self) -> Dict[Signature, str]:
+        """Copy of the tuned (signature -> kernel name) table."""
+        return dict(self._choices)
+
+    def clear(self) -> None:
+        self._choices.clear()
+        self.dirty = False
+
+    def load_cache(self, path: str) -> int:
+        """Merge a JSON cache written by :meth:`save_cache`; returns #entries."""
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+        count = 0
+        for key, name in raw.items():
+            if name not in self._kernels:
+                continue  # a kernel set from a different version; skip
+            parts = tuple(int(p) for p in key.split(","))
+            if len(parts) != 6:
+                continue
+            self._choices[parts] = name  # type: ignore[index]
+            count += 1
+        return count
+
+    def save_cache(self, path: str) -> None:
+        """Write the tuned table as JSON (atomic rename)."""
+        payload = {
+            ",".join(str(v) for v in key): name
+            for key, name in sorted(self._choices.items())
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=0, sort_keys=True)
+        os.replace(tmp, path)
+        self.dirty = False
+
+    def _maybe_load_env_cache(self) -> None:
+        if self._env_loaded:
+            return
+        self._env_loaded = True
+        path = os.environ.get(CACHE_ENV)
+        if path and os.path.exists(path):
+            try:
+                self.load_cache(path)
+            except (OSError, ValueError, json.JSONDecodeError):
+                pass  # a corrupt cache only costs a re-tune
+
+    def _maybe_save_env_cache(self) -> None:
+        path = os.environ.get(CACHE_ENV)
+        if path:
+            try:
+                self.save_cache(path)
+            except OSError:
+                pass
+
+    # -- tuning ------------------------------------------------------------
+    def choose(
+        self, signature: Signature, x_pad: np.ndarray, weight: np.ndarray, stride: int
+    ) -> str:
+        """Kernel name for ``signature``, timing the candidates on first call."""
+        self._maybe_load_env_cache()
+        cached = self._choices.get(signature)
+        if cached is not None:
+            return cached
+        best_name, best_time = None, float("inf")
+        for name, kernel in self._kernels.items():
+            elapsed = min(
+                self._time_once(kernel.forward, x_pad, weight, stride)
+                for _ in range(TIMING_REPEATS)
+            )
+            if elapsed < best_time:
+                best_name, best_time = name, elapsed
+        assert best_name is not None
+        self._choices[signature] = best_name
+        self.dirty = True
+        self._maybe_save_env_cache()
+        return best_name
+
+    @staticmethod
+    def _time_once(
+        fn: Callable, x_pad: np.ndarray, weight: np.ndarray, stride: int
+    ) -> float:
+        start = time.perf_counter()
+        fn(x_pad, weight, stride, keep_ctx=False)
+        return time.perf_counter() - start

@@ -1,0 +1,124 @@
+"""FFT conv1d kernel: rfft/irfft batched over channels.
+
+Cross-correlation by the convolution theorem: transform the padded input
+and the kernel once, multiply-and-sum over input channels in the frequency
+domain (one complex GEMM per frequency bin, batched by ``np.matmul``), and
+inverse-transform the valid part.  Cost scales with ``C_in * C_out * F``
+(``F ≈ L/2`` bins) instead of ``C_in * C_out * K * L``, so this kernel
+wins where the time-domain contraction is widest — the long-kernel
+(``k_p = 25``) members of the paper's ensemble and the long-window shapes
+of ``bench_fig6a_window_length`` / ``score_store``.
+
+Both backward contractions are frequency-domain products too (dW is a
+correlation of the input with the dilated output gradient, dX a plain
+convolution of that gradient with the kernel), so training under the FFT
+backend never falls back to a time-domain path.
+
+NumPy's pocketfft computes in float64 and we cast back to float32, which
+makes this kernel *more* accurate than the time-domain ones but **not**
+bit-identical to them, and — unlike im2col — its per-sample bits depend on
+the batch size (the per-frequency complex GEMM blocks over the batch
+axis).  That is why ``fft`` is only ever picked explicitly or by the
+autotuner, never as the silent default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .pool import scratch
+
+DTYPE = np.float32
+
+NAME = "fft"
+
+
+def next_fast_len(n: int) -> int:
+    """Smallest 5-smooth (2^a 3^b 5^c) integer >= ``n`` (fast FFT sizes)."""
+    if n <= 6:
+        return max(n, 1)
+    while True:
+        m = n
+        for p in (2, 3, 5):
+            while m % p == 0:
+                m //= p
+        if m == 1:
+            return n
+        n += 1
+
+
+@dataclass
+class Ctx:
+    """Saved forward state for the backward transforms."""
+
+    x_pad: np.ndarray  # (N, C_in, L_pad)
+    weight: np.ndarray  # (C_out, C_in, K)
+    stride: int
+    nfft: int
+
+
+def _freq_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-frequency complex GEMM: (..,F,m,k) @ (..,F,k,n) with F leading."""
+    return np.matmul(np.ascontiguousarray(a), np.ascontiguousarray(b))
+
+
+def forward(
+    x_pad: np.ndarray, weight: np.ndarray, stride: int, keep_ctx: bool
+) -> Tuple[np.ndarray, Optional[Ctx]]:
+    n, c_in, l_pad = x_pad.shape
+    c_out, _, kernel = weight.shape
+    l_out = (l_pad - kernel) // stride + 1
+    # Linear (non-circular) valid correlation only needs nfft >= L_pad: the
+    # largest index touched is L_pad - 1.
+    nfft = next_fast_len(l_pad)
+    xf = np.fft.rfft(x_pad, nfft)  # (N, C_in, F)
+    wf = np.fft.rfft(weight, nfft)  # (C_out, C_in, F)
+    # corr(x, w) = irfft(X * conj(W)); sum over C_in is a GEMM per bin.
+    prod = _freq_matmul(
+        xf.transpose(2, 0, 1), wf.conj().transpose(2, 1, 0)
+    )  # (F, N, C_out)
+    full = np.fft.irfft(np.ascontiguousarray(prod.transpose(1, 2, 0)), nfft)
+    valid = full[:, :, : (l_out - 1) * stride + 1 : stride]
+    if keep_ctx:
+        out = np.ascontiguousarray(valid, dtype=x_pad.dtype)
+        return out, Ctx(x_pad, weight, stride, nfft)
+    out = scratch((n, c_out, l_out), x_pad.dtype)
+    np.copyto(out, valid)
+    return out, None
+
+
+def _dilate(grad: np.ndarray, stride: int) -> np.ndarray:
+    """Spread grad onto the stride grid: g_dil[s*stride] = grad[s]."""
+    if stride == 1:
+        return grad
+    n, c_out, l_out = grad.shape
+    dilated = np.zeros((n, c_out, (l_out - 1) * stride + 1), dtype=grad.dtype)
+    dilated[:, :, ::stride] = grad
+    return dilated
+
+
+def grad_weight(ctx: Ctx, grad: np.ndarray) -> np.ndarray:
+    kernel = ctx.weight.shape[2]
+    g = _dilate(grad, ctx.stride)
+    xf = np.fft.rfft(ctx.x_pad, ctx.nfft)  # (N, C_in, F)
+    gf = np.fft.rfft(g, ctx.nfft)  # (N, C_out, F)
+    # dW[o, c, k] = sum_n corr(x[n, c], g[n, o])[k]
+    prod = _freq_matmul(
+        gf.conj().transpose(2, 1, 0), xf.transpose(2, 0, 1)
+    )  # (F, C_out, C_in)
+    full = np.fft.irfft(np.ascontiguousarray(prod.transpose(1, 2, 0)), ctx.nfft)
+    return np.ascontiguousarray(full[:, :, :kernel], dtype=DTYPE)
+
+
+def grad_input(ctx: Ctx, grad: np.ndarray) -> np.ndarray:
+    l_pad = ctx.x_pad.shape[2]
+    g = _dilate(grad, ctx.stride)
+    gf = np.fft.rfft(g, ctx.nfft)  # (N, C_out, F)
+    wf = np.fft.rfft(ctx.weight, ctx.nfft)  # (C_out, C_in, F)
+    # dX[n, c, t] = sum_o (g[n, o] * w[o, c])[t]  (plain convolution)
+    prod = _freq_matmul(gf.transpose(2, 0, 1), wf.transpose(2, 0, 1))  # (F, N, C_in)
+    full = np.fft.irfft(np.ascontiguousarray(prod.transpose(1, 2, 0)), ctx.nfft)
+    return np.ascontiguousarray(full[:, :, :l_pad], dtype=DTYPE)

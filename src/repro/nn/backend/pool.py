@@ -1,0 +1,109 @@
+"""Arena-style buffer pool for allocation-free steady-state inference.
+
+The serving hot path runs the same micro-batch shapes thousands of times;
+without pooling, every convolution re-allocates its im2col scratch and its
+output from the system allocator.  :class:`BufferPool` recycles those
+arrays across micro-batches:
+
+* :meth:`take` hands out a buffer of the requested shape/dtype, reusing a
+  recycled one when available;
+* :meth:`step` marks everything handed out since the previous ``step`` as
+  recyclable.  The caller guarantees that by the time ``step`` runs, no
+  consumer still reads those buffers — in the fused inference loop that
+  holds because every micro-batch's results are copied into accumulator
+  arrays before the next micro-batch starts.
+
+Because recycled buffers may still be referenced by stale outputs, the
+pool must only ever serve code paths whose products are copied out before
+the next step — i.e. inference with gradients disabled.  The backends
+enforce this by bypassing the pool whenever a backward pass will retain
+the buffer.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+_Key = Tuple[Tuple[int, ...], str]
+
+
+class BufferPool:
+    """Shape-keyed arena of reusable NumPy buffers (single-threaded use)."""
+
+    def __init__(self) -> None:
+        self._free: Dict[_Key, List[np.ndarray]] = {}
+        self._taken: List[Tuple[_Key, np.ndarray]] = []
+        self.fresh_allocations = 0
+        self.reuses = 0
+        self.bytes_allocated = 0
+
+    def take(self, shape, dtype=np.float32) -> np.ndarray:
+        """A writable buffer of ``shape``/``dtype`` (recycled when possible)."""
+        key: _Key = (tuple(int(s) for s in shape), np.dtype(dtype).str)
+        free = self._free.get(key)
+        if free:
+            arr = free.pop()
+            self.reuses += 1
+        else:
+            arr = np.empty(key[0], dtype=dtype)
+            self.fresh_allocations += 1
+            self.bytes_allocated += arr.nbytes
+        self._taken.append((key, arr))
+        return arr
+
+    def step(self) -> None:
+        """Recycle every buffer handed out since the previous step."""
+        for key, arr in self._taken:
+            self._free.setdefault(key, []).append(arr)
+        self._taken.clear()
+
+    def clear(self) -> None:
+        """Drop all pooled buffers (counters are kept)."""
+        self._free.clear()
+        self._taken.clear()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "fresh_allocations": self.fresh_allocations,
+            "reuses": self.reuses,
+            "bytes_allocated": self.bytes_allocated,
+            "free_buffers": sum(len(v) for v in self._free.values()),
+            "taken_buffers": len(self._taken),
+        }
+
+
+_ACTIVE_POOL: ContextVar[Optional[BufferPool]] = ContextVar(
+    "repro_nn_buffer_pool", default=None
+)
+
+
+def current_pool() -> Optional[BufferPool]:
+    """The pool installed by the innermost :func:`use_pool`, if any."""
+    return _ACTIVE_POOL.get()
+
+
+@contextlib.contextmanager
+def use_pool(pool: Optional[BufferPool]):
+    """Route inference scratch/output allocations through ``pool``."""
+    token = _ACTIVE_POOL.set(pool)
+    try:
+        yield pool
+    finally:
+        _ACTIVE_POOL.reset(token)
+
+
+def scratch(shape, dtype=np.float32) -> np.ndarray:
+    """Pool-aware ``np.empty``: recycled when a pool is active, fresh otherwise.
+
+    Only inference code paths may call this — the returned buffer is
+    recycled at the owning pool's next :meth:`BufferPool.step`.
+    """
+    pool = _ACTIVE_POOL.get()
+    if pool is not None:
+        return pool.take(shape, dtype)
+    return np.empty(shape, dtype=dtype)

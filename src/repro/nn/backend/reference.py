@@ -1,0 +1,64 @@
+"""Reference conv1d kernel: strided window view + ``np.tensordot``.
+
+This is the original implementation of :func:`repro.nn.functional.conv1d`,
+kept verbatim as the numerical ground truth: running with
+``REPRO_NN_BACKEND=reference`` reproduces the pre-backend float32 results
+bit-for-bit, and the faster kernels are equivalence-tested against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+DTYPE = np.float32
+
+NAME = "reference"
+
+
+@dataclass
+class Ctx:
+    """Saved forward state for the backward contractions."""
+
+    windows: np.ndarray  # (N, C_in, L_out, K) strided view over x_pad
+    weight: np.ndarray  # (C_out, C_in, K)
+    stride: int
+    l_pad: int
+
+
+def forward(
+    x_pad: np.ndarray, weight: np.ndarray, stride: int, keep_ctx: bool
+) -> Tuple[np.ndarray, Optional[Ctx]]:
+    kernel = weight.shape[2]
+    windows = sliding_window_view(x_pad, kernel, axis=2)[:, :, ::stride, :]
+    # windows: (N, C_in, L_out, K); contract C_in and K against the weight.
+    out = np.tensordot(windows, weight, axes=([1, 3], [1, 2]))  # (N, L_out, C_out)
+    out = np.ascontiguousarray(out.transpose(0, 2, 1))
+    ctx = Ctx(windows, weight, stride, x_pad.shape[2]) if keep_ctx else None
+    return out, ctx
+
+
+def grad_weight(ctx: Ctx, grad: np.ndarray) -> np.ndarray:
+    # dW[o, c, k] = sum_{n, s} grad[n, o, s] * windows[n, c, s, k]
+    return np.tensordot(grad, ctx.windows, axes=([0, 2], [0, 2]))
+
+
+def grad_input(ctx: Ctx, grad: np.ndarray) -> np.ndarray:
+    """Transposed convolution: dilate grad by stride, pad by K-1, correlate
+    with the flipped kernel.  Returns the gradient w.r.t. the *padded* input."""
+    n, c_out, l_out = grad.shape
+    kernel = ctx.weight.shape[2]
+    if ctx.stride > 1:
+        dilated = np.zeros((n, c_out, (l_out - 1) * ctx.stride + 1), dtype=DTYPE)
+        dilated[:, :, :: ctx.stride] = grad
+    else:
+        dilated = grad
+    deficit = ctx.l_pad - (dilated.shape[2] + kernel - 1)
+    z = np.pad(dilated, ((0, 0), (0, 0), (kernel - 1, kernel - 1 + max(deficit, 0))))
+    zw = sliding_window_view(z, kernel, axis=2)[:, :, : ctx.l_pad, :]
+    w_flip = ctx.weight[:, :, ::-1]
+    d_xp = np.tensordot(zw, w_flip, axes=([1, 3], [0, 2]))  # (N, L_pad, C_in)
+    return np.ascontiguousarray(d_xp.transpose(0, 2, 1))

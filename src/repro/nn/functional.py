@@ -4,6 +4,18 @@ Convolution, pooling, normalization, softmax and the fused losses are
 implemented as single graph nodes (rather than compositions of elementwise
 ops) for speed and numerical stability.  Every backward pass here is covered
 by finite-difference gradient checks in ``tests/test_gradients.py``.
+
+Two execution concerns are factored out of the math:
+
+* **convolution kernels** live in :mod:`repro.nn.backend` (``reference`` /
+  ``im2col`` / ``fft``, selected per call by the active backend mode) —
+  ``conv1d`` here only handles padding, bias and graph bookkeeping;
+* **inference mode**: when gradients are off (``nn.no_grad``) or no input
+  requires them, every primitive takes an early return that builds *no*
+  backward closure and saves *no* forward state (no windows/columns,
+  ``x_hat``, argmax indices, ...), and batch norm collapses to a single
+  fused per-channel scale/shift.  Combined with the backend buffer pool
+  this makes steady-state scoring allocation-free on the conv hot path.
 """
 
 from __future__ import annotations
@@ -11,9 +23,16 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
 
-from .tensor import DEFAULT_DTYPE, Tensor, _unbroadcast
+from . import backend
+from .tensor import DEFAULT_DTYPE, Tensor, _unbroadcast, is_grad_enabled
+
+
+def _needs_grad(*tensors: Optional[Tensor]) -> bool:
+    """Whether this op must record the graph (any live parent requires grad)."""
+    return is_grad_enabled() and any(
+        t is not None and t.requires_grad for t in tensors
+    )
 
 
 # ----------------------------------------------------------------------
@@ -30,6 +49,9 @@ def conv1d(
 
     ``weight`` has shape ``(C_out, C_in, K)``; the output has shape
     ``(N, C_out, L_out)`` with ``L_out = (L + 2*padding - K) // stride + 1``.
+
+    Execution is delegated to the active :mod:`repro.nn.backend` kernel;
+    the backward contractions reuse whichever kernel ran the forward.
     """
     if x.ndim != 3:
         raise ValueError(f"conv1d expects (N, C, L) input, got shape {x.shape}")
@@ -41,43 +63,26 @@ def conv1d(
         raise ValueError("input (plus padding) shorter than kernel")
 
     x_pad = np.pad(x.data, ((0, 0), (0, 0), (padding, padding))) if padding else x.data
-    windows = sliding_window_view(x_pad, kernel, axis=2)[:, :, ::stride, :]
-    # windows: (N, C_in, L_out, K); contract C_in and K against the weight.
-    out = np.tensordot(windows, weight.data, axes=([1, 3], [1, 2]))  # (N, L_out, C_out)
-    out = np.ascontiguousarray(out.transpose(0, 2, 1))
+    needs = _needs_grad(x, weight, bias)
+    kern = backend.resolve_conv(x_pad, weight.data, stride)
+    out, ctx = kern.forward(x_pad, weight.data, stride, keep_ctx=needs)
     if bias is not None:
         out += bias.data[None, :, None]
+    if not needs:
+        return Tensor(out)
 
-    l_out = out.shape[2]
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(grad: np.ndarray) -> None:
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2)))
         if weight.requires_grad:
-            # dW[o, c, k] = sum_{n, s} grad[n, o, s] * windows[n, c, s, k]
-            d_w = np.tensordot(grad, windows, axes=([0, 2], [0, 2]))
-            weight._accumulate(d_w)
+            weight._accumulate(kern.grad_weight(ctx, grad))
         if x.requires_grad:
-            # Transposed convolution: dilate grad by stride, pad by K-1,
-            # correlate with the flipped kernel.
-            if stride > 1:
-                dilated = np.zeros(
-                    (n, c_out, (l_out - 1) * stride + 1), dtype=DEFAULT_DTYPE
-                )
-                dilated[:, :, ::stride] = grad
-            else:
-                dilated = grad
-            l_pad_target = length + 2 * padding
-            deficit = l_pad_target - (dilated.shape[2] + kernel - 1)
-            z = np.pad(dilated, ((0, 0), (0, 0), (kernel - 1, kernel - 1 + max(deficit, 0))))
-            zw = sliding_window_view(z, kernel, axis=2)[:, :, :l_pad_target, :]
-            w_flip = weight.data[:, :, ::-1]
-            d_xp = np.tensordot(zw, w_flip, axes=([1, 3], [0, 2]))  # (N, L_pad, C_in)
-            d_xp = d_xp.transpose(0, 2, 1)
+            d_xp = kern.grad_input(ctx, grad)
             if padding:
-                d_xp = d_xp[:, :, padding : padding + length]
-            x._accumulate(np.ascontiguousarray(d_xp))
+                d_xp = np.ascontiguousarray(d_xp[:, :, padding : padding + length])
+            x._accumulate(d_xp)
 
     return Tensor._make_from(out, parents, backward, "conv1d")
 
@@ -89,7 +94,9 @@ def max_pool1d(x: Tensor, kernel: int) -> Tensor:
     """Non-overlapping max pooling (stride == kernel) over the last axis.
 
     Inputs whose length is not divisible by ``kernel`` are right-padded
-    with ``-inf`` (the pad never wins the max).
+    with ``-inf`` (the pad never wins the max).  The argmax bookkeeping
+    needed to route gradients is only built when gradients are enabled;
+    inference is a plain blockwise ``max``.
     """
     n, c, length = x.shape
     remainder = length % kernel
@@ -97,6 +104,11 @@ def max_pool1d(x: Tensor, kernel: int) -> Tensor:
     data = np.pad(x.data, ((0, 0), (0, 0), (0, pad)), constant_values=-np.inf) if pad else x.data
     l_out = data.shape[2] // kernel
     blocks = data.reshape(n, c, l_out, kernel)
+    if not _needs_grad(x):
+        out = backend.scratch((n, c, l_out), x.dtype)
+        blocks.max(axis=3, out=out)
+        return Tensor(out)
+
     idx = blocks.argmax(axis=3)
     out = np.take_along_axis(blocks, idx[..., None], axis=3)[..., 0]
 
@@ -130,6 +142,8 @@ def avg_pool1d(x: Tensor, kernel: int) -> Tensor:
     if pad:
         counts[-1] = remainder
     out = data.reshape(n, c, l_out, kernel).sum(axis=3) / counts
+    if not _needs_grad(x):
+        return Tensor(out.astype(DEFAULT_DTYPE))
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
@@ -151,6 +165,8 @@ def upsample_nearest1d(x: Tensor, scale: int) -> Tensor:
     """Nearest-neighbour upsampling of the last axis by integer ``scale``."""
     out = np.repeat(x.data, scale, axis=2)
     n, c, length = x.shape
+    if not _needs_grad(x):
+        return Tensor(out)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
@@ -168,13 +184,25 @@ def upsample_to1d(x: Tensor, target_length: int) -> Tensor:
     n, c, length = x.shape
     idx = np.minimum((np.arange(target_length) * length) // target_length, length - 1)
     out = x.data[:, :, idx]
+    if not _needs_grad(x):
+        return Tensor(out)
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        d_x = np.zeros_like(x.data)
-        np.add.at(d_x, (slice(None), slice(None), idx), grad)
-        x._accumulate(d_x)
+        # Segment-sum via bincount over a flat index map (row r of the
+        # flattened (n*c, target) gradient scatters into row r of
+        # (n*c, length)): orders of magnitude faster than np.add.at's
+        # per-element ufunc dispatch, and accumulates in float64 (so it is
+        # at least as accurate).  The map is built here, not at forward
+        # time — the closure retains only the (target,) idx array.
+        flat_idx = (np.arange(n * c, dtype=np.int64)[:, None] * length + idx).ravel()
+        d_flat = np.bincount(
+            flat_idx,
+            weights=np.ascontiguousarray(grad).reshape(-1),
+            minlength=n * c * length,
+        )
+        x._accumulate(d_flat.reshape(n, c, length).astype(DEFAULT_DTYPE))
 
     return Tensor._make_from(out, (x,), backward, "upsample_to1d")
 
@@ -195,6 +223,10 @@ def batch_norm(
     """Batch normalization over ``(N, C, L)`` (per-channel) or ``(N, C)``.
 
     ``running_mean``/``running_var`` are updated in place in training mode.
+    With gradients disabled the whole op folds into one per-channel
+    scale/shift (``scale = gamma * inv_std``, ``shift = beta - mean *
+    scale``): a single fused multiply-add over the input instead of the
+    four-pass normalize-then-affine, with no saved ``x_hat``.
     """
     if x.ndim == 3:
         axes: Tuple[int, ...] = (0, 2)
@@ -219,6 +251,15 @@ def batch_norm(
         var = running_var
 
     inv_std = 1.0 / np.sqrt(var + eps)
+
+    if not _needs_grad(x, gamma, beta):
+        scale = (gamma.data * inv_std).astype(DEFAULT_DTYPE)
+        shift = (beta.data - mean * scale).astype(DEFAULT_DTYPE)
+        out = backend.scratch(x.shape, DEFAULT_DTYPE)
+        np.multiply(x.data, scale.reshape(view), out=out)
+        out += shift.reshape(view)
+        return Tensor(out)
+
     x_hat = (x.data - mean.reshape(view)) * inv_std.reshape(view)
     out = gamma.data.reshape(view) * x_hat + beta.data.reshape(view)
 
@@ -231,13 +272,11 @@ def batch_norm(
             return
         g = gamma.data.reshape(view)
         if training:
-            m = x.data.size // x.data.shape[1]
             d_xhat = grad * g
             term1 = d_xhat
             term2 = d_xhat.mean(axis=axes, keepdims=True)
             term3 = x_hat * (d_xhat * x_hat).mean(axis=axes, keepdims=True)
             d_x = (term1 - term2 - term3) * inv_std.reshape(view)
-            del m
         else:
             d_x = grad * g * inv_std.reshape(view)
         x._accumulate(d_x.astype(DEFAULT_DTYPE))
@@ -252,6 +291,8 @@ def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Ten
     inv_std = 1.0 / np.sqrt(var + eps)
     x_hat = (x.data - mean) * inv_std
     out = gamma.data * x_hat + beta.data
+    if not _needs_grad(x, gamma, beta):
+        return Tensor(out.astype(DEFAULT_DTYPE))
     dim = x.data.shape[-1]
 
     def backward(grad: np.ndarray) -> None:
@@ -279,6 +320,8 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
     out = exp / exp.sum(axis=axis, keepdims=True)
+    if not _needs_grad(x):
+        return Tensor(out)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
@@ -292,6 +335,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out = shifted - log_z
+    if not _needs_grad(x):
+        return Tensor(out)
     soft = np.exp(out)
 
     def backward(grad: np.ndarray) -> None:
@@ -330,6 +375,8 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
     log_probs = shifted - log_z
     loss = -log_probs[np.arange(n), targets].mean()
+    if not _needs_grad(logits):
+        return Tensor(np.asarray(loss, dtype=DEFAULT_DTYPE))
     probs = np.exp(log_probs)
 
     def backward(grad: np.ndarray) -> None:
@@ -347,20 +394,27 @@ def binary_cross_entropy_with_logits(
     """Mean BCE on raw logits (numerically stable log-sum-exp form)."""
     t = np.asarray(targets, dtype=DEFAULT_DTYPE)
     z = logits.data
+    needs = _needs_grad(logits)
     # loss = max(z, 0) - z*t + log(1 + exp(-|z|)); weighted variant scales the
     # positive term by pos_weight.  The sigmoid clip keeps float32 exp finite
     # for extreme logits (it saturates long before +/-60).
-    sig = 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+    grad_local = None
     if pos_weight is None:
         per = np.maximum(z, 0) - z * t + np.log1p(np.exp(-np.abs(z)))
-        grad_local = sig - t
+        if needs:
+            sig = 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+            grad_local = sig - t
     else:
         w = t * pos_weight + (1.0 - t)
         log_sig = -np.maximum(-z, 0) - np.log1p(np.exp(-np.abs(z)))
         log_one_minus = -np.maximum(z, 0) - np.log1p(np.exp(-np.abs(z)))
         per = -(pos_weight * t * log_sig + (1.0 - t) * log_one_minus)
-        grad_local = w * sig - pos_weight * t
+        if needs:
+            sig = 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+            grad_local = w * sig - pos_weight * t
     loss = per.mean()
+    if not needs:
+        return Tensor(np.asarray(loss, dtype=DEFAULT_DTYPE))
     count = z.size
 
     def backward(grad: np.ndarray) -> None:
@@ -375,6 +429,8 @@ def mse_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
     t = np.asarray(targets, dtype=DEFAULT_DTYPE)
     diff = pred.data - t
     loss = np.mean(diff * diff)
+    if not _needs_grad(pred):
+        return Tensor(np.asarray(loss, dtype=DEFAULT_DTYPE))
     count = diff.size
 
     def backward(grad: np.ndarray) -> None:

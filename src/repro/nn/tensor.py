@@ -27,9 +27,25 @@ TensorLike = Union["Tensor", np.ndarray, Number, Sequence]
 
 _grad_enabled = True
 
+#: Running count of graph nodes created (ops recorded with a backward
+#: closure).  Regression tests diff this around inference passes to prove
+#: that ``no_grad`` builds zero graph nodes.
+_graph_nodes_created = 0
+
+
+def graph_nodes_created() -> int:
+    """Total autograd graph nodes recorded so far in this process."""
+    return _graph_nodes_created
+
 
 class no_grad:
-    """Context manager disabling graph construction (inference mode)."""
+    """Context manager disabling graph construction (true inference mode).
+
+    Inside the context no backward closures are built and no forward state
+    is saved for reuse in a backward pass; the fused primitives in
+    :mod:`repro.nn.functional` additionally take allocation-light fast
+    paths (see ``docs/nn.md``).
+    """
 
     def __enter__(self):
         global _grad_enabled
@@ -100,6 +116,8 @@ class Tensor:
         requires = _grad_enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
+            global _graph_nodes_created
+            _graph_nodes_created += 1
             out._backward = backward
             out._parents = parents
             out.op = op
@@ -362,6 +380,14 @@ class Tensor:
         return Tensor._make_from(out_data, (self,), backward, "sigmoid")
 
     def relu(self) -> "Tensor":
+        if not (_grad_enabled and self.requires_grad):
+            # Inference fast path: no boolean mask, output into the active
+            # buffer pool (if any) so the serving loop reuses it.
+            from . import backend
+
+            out = backend.scratch(self.data.shape, self.data.dtype)
+            np.maximum(self.data, 0, out=out)
+            return Tensor(out)
         mask = self.data > 0
 
         def backward(grad: np.ndarray) -> None:

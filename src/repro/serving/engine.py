@@ -30,6 +30,7 @@ workload shape for deployment:
 from __future__ import annotations
 
 import hashlib
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
@@ -37,6 +38,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tupl
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from .. import nn
 from ..core.localization import LocalizationOutput
 from ..simdata.preprocessing import SCALE_DIVISOR
 from .windowing import SlidingWindowPlan, plan_windows, slice_windows, stitch_mean
@@ -64,6 +66,17 @@ class EngineConfig:
     #: defers to each pipeline's own ``status_threshold``; set a value
     #: only to explicitly override every pipeline.
     status_threshold: Optional[float] = None
+    #: Convolution backend the engine's pipelines run under
+    #: (``reference|im2col|fft|auto``); ``None`` keeps the process-wide
+    #: default.  ``auto`` tunes per shape but its kernel choice (and hence
+    #: the float32 bits) can vary between runs — pin a kernel when
+    #: bit-reproducibility matters more than throughput (docs/nn.md).
+    backend: Optional[str] = None
+    #: JSON file persisting the backend autotuner's shape->kernel table
+    #: (usually next to the model/store manifests).  Loaded when the
+    #: engine is built, rewritten after each run that tuned new shapes, so
+    #: a restarted engine skips the first-call timing pass.
+    autotune_cache: Optional[str] = None
 
 
 @dataclass
@@ -200,9 +213,16 @@ class InferenceEngine:
             raise ValueError(f"window must be positive, got {config.window}")
         if config.batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {config.batch_size}")
+        if config.backend is not None and config.backend not in nn.backend.available_backends():
+            raise ValueError(
+                f"unknown backend {config.backend!r}; "
+                f"choose from {nn.backend.available_backends()}"
+            )
         self.config = config
         self.pipelines: Dict[str, object] = {}
         self._cache: "OrderedDict[Tuple[str, bytes], _CacheRow]" = OrderedDict()
+        if config.autotune_cache and os.path.exists(config.autotune_cache):
+            nn.backend.load_autotune_cache(config.autotune_cache)
 
     # -- pipeline registry ------------------------------------------------
     def register(self, appliance: str, pipeline) -> "InferenceEngine":
@@ -315,6 +335,7 @@ class InferenceEngine:
                 status=status,
                 cache_hits=hits,
             )
+        self._save_autotune_cache()
         return result
 
     def _status_threshold(self, pipeline) -> float:
@@ -323,12 +344,47 @@ class InferenceEngine:
             return float(self.config.status_threshold)
         return float(getattr(pipeline, "status_threshold", 0.5))
 
+    def _localize(self, pipeline, windows: np.ndarray) -> LocalizationOutput:
+        """One pipeline pass under the engine's configured conv backend."""
+        with nn.backend.use_backend(self.config.backend):
+            return pipeline.localize(windows, self.config.batch_size)
+
+    def _save_autotune_cache(self) -> None:
+        """Persist newly tuned conv shapes next to the manifests (if configured).
+
+        Skipped when nothing new was tuned since the last save, so a
+        serving loop scoring series after series does not rewrite an
+        unchanged JSON file once its shapes are warm.
+        """
+        if self.config.autotune_cache and nn.backend.autotune_cache_dirty():
+            nn.backend.save_autotune_cache(self.config.autotune_cache)
+
+    def buffer_pool_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-appliance :class:`repro.nn.backend.BufferPool` counters.
+
+        Covers pipelines whose serving path runs through the fused
+        ensemble loop (CamAL and its estimator adapter); other estimators
+        report nothing.  ``fresh_allocations`` staying flat across runs is
+        the allocation-free steady-state guarantee the benchmark asserts.
+        """
+        stats: Dict[str, Dict[str, int]] = {}
+        for name, pipeline in self.pipelines.items():
+            ensemble = getattr(pipeline, "ensemble", None)
+            if ensemble is None:  # estimator adapter wrapping a CamAL
+                ensemble = getattr(
+                    getattr(pipeline, "pipeline", None), "ensemble", None
+                )
+            pool = getattr(ensemble, "_pool", None)
+            if pool is not None:
+                stats[name] = pool.stats
+        return stats
+
     def _localize_cached(
         self, appliance: str, pipeline, windows: np.ndarray
     ) -> Tuple[LocalizationOutput, int]:
         """Localize a window batch, serving repeats from the LRU cache."""
         if self.config.cache_size <= 0:
-            return pipeline.localize(windows, self.config.batch_size), 0
+            return self._localize(pipeline, windows), 0
 
         n, length = windows.shape
         proba = np.zeros(n, dtype=np.float32)
@@ -350,7 +406,7 @@ class InferenceEngine:
             proba[i], detected[i], cam[i], soft[i], status[i] = row
         if misses:
             miss_idx = np.asarray(misses)
-            fresh = pipeline.localize(windows[miss_idx], self.config.batch_size)
+            fresh = self._localize(pipeline, windows[miss_idx])
             proba[miss_idx] = fresh.detection_proba
             detected[miss_idx] = fresh.detected
             cam[miss_idx] = fresh.cam
@@ -484,4 +540,5 @@ class InferenceEngine:
                 n_detected=detected[name],
                 cache_hits=hits[name],
             )
+        self._save_autotune_cache()
         return result

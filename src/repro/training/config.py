@@ -27,6 +27,11 @@ class TrainConfig:
     # -- optimizer / LR schedule ------------------------------------------
     optimizer: str = "adam"  # one of OPTIMIZERS
     scheduler: str = "none"  # one of SCHEDULERS
+    #: Positive-class weight for the BCE losses of the seq2seq / weak-MIL
+    #: loops (``None`` keeps unweighted BCE).  NILM status labels are
+    #: heavily OFF-skewed; weighting by ~1/positive-rate keeps the sigmoid
+    #: outputs calibrated around the 0.5 decision threshold.
+    pos_weight: Optional[float] = None
     warmup_epochs: int = 0  # linear-warmup epochs (warmup_cosine only)
     step_size: int = 10  # StepLR period
     gamma: float = 0.1  # StepLR decay factor

@@ -96,6 +96,7 @@ def _resume_fingerprint(config: TrainConfig) -> Dict[str, object]:
         "clip_grad": config.clip_grad,
         "seed": config.seed,
         "scheduler": config.scheduler,
+        "pos_weight": config.pos_weight,
     }
     if config.scheduler == "step":
         fingerprint.update(step_size=config.step_size, gamma=config.gamma)
@@ -343,16 +344,24 @@ def train_seq2seq(
 
     def loss_on_batch(idx: np.ndarray) -> Tensor:
         logits = model(Tensor(x_train[idx][:, None, :]))
-        return F.binary_cross_entropy_with_logits(logits, s_train[idx])
+        return F.binary_cross_entropy_with_logits(
+            logits, s_train[idx], pos_weight=config.pos_weight
+        )
 
     def val_loss() -> float:
-        return evaluate_seq2seq_loss(model, x_val, s_val, config.batch_size)
+        return evaluate_seq2seq_loss(
+            model, x_val, s_val, config.batch_size, pos_weight=config.pos_weight
+        )
 
     return _run_epochs(model, loss_on_batch, val_loss, len(x_train), config)
 
 
 def evaluate_seq2seq_loss(
-    model: nn.Module, x: np.ndarray, s: np.ndarray, batch_size: int = 256
+    model: nn.Module,
+    x: np.ndarray,
+    s: np.ndarray,
+    batch_size: int = 256,
+    pos_weight: Optional[float] = None,
 ) -> float:
     x = np.asarray(x, dtype=np.float32)
     s = np.asarray(s, dtype=np.float32)
@@ -363,7 +372,9 @@ def evaluate_seq2seq_loss(
         for start in range(0, len(x), batch_size):
             xb = x[start : start + batch_size]
             sb = s[start : start + batch_size]
-            loss = F.binary_cross_entropy_with_logits(model(Tensor(xb[:, None, :])), sb)
+            loss = F.binary_cross_entropy_with_logits(
+                model(Tensor(xb[:, None, :])), sb, pos_weight=pos_weight
+            )
             total += loss.item() * len(xb)
             count += len(xb)
     return total / count
@@ -415,7 +426,9 @@ def train_weak_mil(
 
     def loss_on_batch(idx: np.ndarray) -> Tensor:
         seq_logits = model.forward_weak(Tensor(x_train[idx][:, None, :]))
-        return F.binary_cross_entropy_with_logits(seq_logits, y_train[idx])
+        return F.binary_cross_entropy_with_logits(
+            seq_logits, y_train[idx], pos_weight=config.pos_weight
+        )
 
     def val_loss() -> float:
         if len(x_val) == 0:
@@ -426,7 +439,8 @@ def train_weak_mil(
                 xb = x_val[start : start + config.batch_size]
                 yb = y_val[start : start + config.batch_size]
                 loss = F.binary_cross_entropy_with_logits(
-                    model.forward_weak(Tensor(xb[:, None, :])), yb
+                    model.forward_weak(Tensor(xb[:, None, :])), yb,
+                    pos_weight=config.pos_weight,
                 )
                 total += loss.item() * len(xb)
                 count += len(xb)

@@ -1,0 +1,313 @@
+"""The conv backend layer: kernels, autotuner, inference mode, buffer pool.
+
+Covers the contract of ``repro.nn.backend``:
+
+* finite-difference gradient checks for the im2col and FFT kernels across
+  the same stride/padding grid that ``tests/test_gradients.py`` pins for
+  ``reference``;
+* cross-backend forward equivalence at paper (Table-II ResNet) shapes;
+* the shape-keyed autotuner and its persisted cache;
+* inference mode building zero graph nodes, engine outputs independent of
+  the backend choice, and the buffer pool's allocation-free steady state.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import backend, check_gradients
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, graph_nodes_created
+
+RNG = np.random.default_rng(7)
+
+
+def _t(shape, scale=1.0):
+    return Tensor(RNG.normal(size=shape).astype(np.float32) * scale, requires_grad=True)
+
+
+def _mask(shape):
+    return Tensor(RNG.normal(size=shape).astype(np.float32))
+
+
+@pytest.fixture(params=["im2col", "fft"])
+def fast_backend(request):
+    with backend.use_backend(request.param):
+        yield request.param
+
+
+class TestBackendGradients:
+    """The im2col/FFT backward contractions match finite differences."""
+
+    def test_conv1d_basic(self, fast_backend):
+        x, w, b = _t((2, 3, 12)), _t((4, 3, 3), 0.4), _t((4,), 0.1)
+        m = _mask((2, 4, 12))
+        check_gradients(lambda: (F.conv1d(x, w, b, padding=1) * m).sum(), [x, w, b])
+
+    def test_conv1d_stride2(self, fast_backend):
+        x, w = _t((1, 2, 11)), _t((3, 2, 5), 0.4)
+        m = _mask((1, 3, 5))  # (11 + 2 - 5) // 2 + 1
+        check_gradients(
+            lambda: (F.conv1d(x, w, None, stride=2, padding=1) * m).sum(), [x, w]
+        )
+
+    def test_conv1d_no_padding(self, fast_backend):
+        x, w = _t((2, 1, 9)), _t((2, 1, 4), 0.5)
+        m = _mask((2, 2, 6))
+        check_gradients(lambda: (F.conv1d(x, w, None) * m).sum(), [x, w])
+
+    def test_conv1d_stride3_uneven(self, fast_backend):
+        x, w = _t((1, 1, 13)), _t((2, 1, 3), 0.5)
+        out_len = (13 - 3) // 3 + 1
+        m = _mask((1, 2, out_len))
+        check_gradients(lambda: (F.conv1d(x, w, None, stride=3) * m).sum(), [x, w])
+
+
+#: Representative Table-II ResNet conv signatures: the C_in=1 entry layers
+#: (one per member kernel), mid-stack and the widest long-kernel block.
+PAPER_SHAPES = [
+    (1, 64, 5),
+    (1, 64, 25),
+    (64, 128, 7),
+    (128, 128, 5),
+    (128, 128, 25),
+]
+
+
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize("c_in,c_out,kernel", PAPER_SHAPES)
+    def test_forward_matches_reference(self, c_in, c_out, kernel):
+        x = Tensor(RNG.normal(size=(4, c_in, 128)).astype(np.float32))
+        w = Tensor(RNG.normal(size=(c_out, c_in, kernel)).astype(np.float32) * 0.1)
+        b = Tensor(RNG.normal(size=(c_out,)).astype(np.float32) * 0.1)
+        pad = (kernel - 1) // 2
+        outs = {}
+        for name in ("reference", "im2col", "fft"):
+            with backend.use_backend(name):
+                outs[name] = F.conv1d(x, w, b, padding=pad).data
+        scale = np.abs(outs["reference"]).max()
+        for name in ("im2col", "fft"):
+            rel = np.abs(outs[name] - outs["reference"]).max() / scale
+            assert rel < 1e-5, f"{name} diverges from reference: rel={rel}"
+
+    def test_strided_forward_matches_reference(self):
+        x = Tensor(RNG.normal(size=(3, 8, 57)).astype(np.float32))
+        w = Tensor(RNG.normal(size=(6, 8, 5)).astype(np.float32) * 0.2)
+        outs = {}
+        for name in ("reference", "im2col", "fft"):
+            with backend.use_backend(name):
+                outs[name] = F.conv1d(x, w, stride=3, padding=2).data
+        for name in ("im2col", "fft"):
+            np.testing.assert_allclose(
+                outs[name], outs["reference"], rtol=1e-4, atol=1e-5
+            )
+
+    def test_im2col_is_batch_size_invariant(self):
+        """The serving cache's bit-identity contract: a window scored alone
+        must produce the same bits as inside any batch."""
+        x = RNG.normal(size=(16, 8, 32)).astype(np.float32)
+        w = Tensor(RNG.normal(size=(12, 8, 5)).astype(np.float32) * 0.2)
+        with backend.use_backend("im2col"):
+            full = F.conv1d(Tensor(x), w, padding=2).data
+            for sl in (slice(3, 4), slice(0, 7), slice(10, 16)):
+                sub = F.conv1d(Tensor(np.ascontiguousarray(x[sl])), w, padding=2).data
+                assert np.array_equal(full[sl], sub)
+
+
+class TestAutotuner:
+    def test_auto_tunes_and_caches_by_signature(self):
+        backend.clear_autotune_cache()
+        x = Tensor(RNG.normal(size=(2, 4, 40)).astype(np.float32))
+        w = Tensor(RNG.normal(size=(3, 4, 5)).astype(np.float32))
+        with backend.use_backend("auto"):
+            F.conv1d(x, w, padding=2)
+        choices = backend.autotune_choices()
+        assert (2, 4, 3, 5, 44, 1) in choices
+        assert choices[(2, 4, 3, 5, 44, 1)] in ("reference", "im2col", "fft")
+        # Second call reuses the cached choice (no new entries).
+        with backend.use_backend("auto"):
+            F.conv1d(x, w, padding=2)
+        assert backend.autotune_choices() == choices
+
+    def test_cache_round_trips_through_json(self, tmp_path):
+        backend.clear_autotune_cache()
+        x = Tensor(RNG.normal(size=(1, 2, 24)).astype(np.float32))
+        w = Tensor(RNG.normal(size=(2, 2, 3)).astype(np.float32))
+        with backend.use_backend("auto"):
+            F.conv1d(x, w)
+        before = backend.autotune_choices()
+        assert backend.autotune_cache_dirty()  # tuned but not yet persisted
+        path = str(tmp_path / "autotune.json")
+        backend.save_autotune_cache(path)
+        assert not backend.autotune_cache_dirty()  # persisted => clean
+        backend.clear_autotune_cache()
+        assert backend.autotune_choices() == {}
+        assert backend.load_autotune_cache(path) == len(before)
+        assert backend.autotune_choices() == before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown nn backend"):
+            backend.set_backend("winograd")
+        with pytest.raises(ValueError):
+            with backend.use_backend("nope"):
+                pass  # pragma: no cover
+
+
+class TestInferenceMode:
+    def _tiny_model(self, seed=0):
+        from repro.core import ResNetConfig, ResNetTSC
+
+        model = ResNetTSC(ResNetConfig(kernel_size=5, filters=(4, 8, 8), seed=seed))
+        model.eval()
+        return model
+
+    def test_no_grad_builds_zero_graph_nodes(self):
+        model = self._tiny_model()
+        x = RNG.normal(size=(3, 1, 32)).astype(np.float32)
+        before = graph_nodes_created()
+        with nn.no_grad():
+            out = model(Tensor(x, requires_grad=True))
+        assert graph_nodes_created() == before
+        assert out._backward is None and out._parents == ()
+        # The same forward with gradients enabled does record the graph.
+        model.train()
+        out = model(Tensor(x, requires_grad=True))
+        assert graph_nodes_created() > before
+        assert out.requires_grad
+
+    def test_max_pool_inference_matches_grad_path(self):
+        x_data = RNG.normal(size=(2, 3, 17)).astype(np.float32)
+        ref = F.max_pool1d(Tensor(x_data, requires_grad=True), 4).data
+        with nn.no_grad():
+            fast = F.max_pool1d(Tensor(x_data), 4).data
+        assert np.array_equal(ref, fast)
+
+    def test_batch_norm_fold_matches_reference_path(self):
+        x_data = RNG.normal(size=(4, 5, 16)).astype(np.float32)
+        g = Tensor(RNG.normal(size=5).astype(np.float32))
+        b = Tensor(RNG.normal(size=5).astype(np.float32))
+        rm = RNG.normal(size=5).astype(np.float32)
+        rv = RNG.random(5).astype(np.float32) + 0.5
+        ref = F.batch_norm(
+            Tensor(x_data, requires_grad=True), g, b, rm.copy(), rv.copy(),
+            training=False,
+        ).data
+        with nn.no_grad():
+            fold = F.batch_norm(
+                Tensor(x_data), g, b, rm.copy(), rv.copy(), training=False
+            ).data
+        np.testing.assert_allclose(fold, ref, rtol=1e-5, atol=1e-6)
+
+    def test_conv_block_fold_matches_training_graph_path(self):
+        """Eval-mode conv+BN folding stays on the normalize-then-affine values."""
+        from repro.core.resnet import ConvBlock
+
+        block = ConvBlock(3, 6, 5, seed=1)
+        # Non-trivial running stats, as after real training.
+        block.norm.running_mean[...] = RNG.normal(size=6).astype(np.float32)
+        block.norm.running_var[...] = RNG.random(6).astype(np.float32) + 0.5
+        block.eval()
+        x_data = RNG.normal(size=(2, 3, 24)).astype(np.float32)
+        unfolded = block(Tensor(x_data, requires_grad=True)).data  # graph path
+        with nn.no_grad():
+            folded = block(Tensor(x_data)).data
+        np.testing.assert_allclose(folded, unfolded, rtol=1e-4, atol=1e-5)
+
+    def test_buffer_pool_steady_state_allocates_nothing(self):
+        from repro.core import ResNetEnsemble
+
+        ensemble = ResNetEnsemble([self._tiny_model(seed=s) for s in (0, 1)])
+        x = RNG.random((24, 32)).astype(np.float32)
+        first = ensemble.forward_fused(x, batch_size=8)
+        warm = ensemble.buffer_pool.fresh_allocations
+        assert warm > 0  # the warm-up run did populate the pool
+        second = ensemble.forward_fused(x, batch_size=8)
+        assert ensemble.buffer_pool.fresh_allocations == warm  # zero new
+        assert ensemble.buffer_pool.reuses > 0
+        np.testing.assert_array_equal(first.proba, second.proba)
+        np.testing.assert_array_equal(first.cam, second.cam)
+
+
+class TestEngineBackendChoice:
+    def _engine(self, backend_name=None):
+        from repro.core import CamAL, ResNetConfig, ResNetEnsemble, ResNetTSC
+        from repro.serving import EngineConfig, InferenceEngine
+
+        models = [
+            ResNetTSC(ResNetConfig(kernel_size=k, filters=(4, 8, 8), seed=i))
+            for i, k in enumerate((5, 7))
+        ]
+        camal = CamAL(ResNetEnsemble(models), detection_threshold=0.0)
+        engine = InferenceEngine(
+            EngineConfig(window=32, stride=16, batch_size=16, backend=backend_name)
+        )
+        engine.register("kettle", camal)
+        return engine
+
+    def test_outputs_unchanged_by_backend_choice(self):
+        series = (RNG.random(500) * 2000.0).astype(np.float32)
+        results = {}
+        for name in ("reference", "im2col", "fft"):
+            results[name] = self._engine(name).run(series).per_appliance["kettle"]
+        ref = results["reference"]
+        for name in ("im2col", "fft"):
+            got = results[name]
+            np.testing.assert_allclose(
+                got.soft_status, ref.soft_status, rtol=1e-5, atol=1e-5
+            )
+            # Binary status may only differ where the soft score sits within
+            # float tolerance of the 0.5 rounding threshold.
+            disagree = got.status != ref.status
+            assert np.all(np.abs(ref.soft_status[disagree] - 0.5) < 1e-4)
+
+    def test_engine_rejects_unknown_backend(self):
+        from repro.serving import EngineConfig, InferenceEngine
+
+        with pytest.raises(ValueError, match="unknown backend"):
+            InferenceEngine(EngineConfig(window=32, backend="cudnn"))
+
+    def test_engine_persists_autotune_cache(self, tmp_path):
+        import json
+        import os
+
+        backend.clear_autotune_cache()
+        path = str(tmp_path / "autotune.json")
+        engine = self._engine("auto")
+        engine.config = type(engine.config)(
+            window=32, stride=16, batch_size=16, backend="auto", autotune_cache=path
+        )
+        series = (RNG.random(200) * 2000.0).astype(np.float32)
+        engine.run(series)
+        assert os.path.exists(path)
+        with open(path) as fh:
+            saved = json.load(fh)
+        assert saved  # at least the engine's conv shapes were tuned
+        assert set(saved.values()) <= {"reference", "im2col", "fft"}
+
+    def test_buffer_pool_stats_surface(self):
+        engine = self._engine()
+        series = (RNG.random(200) * 2000.0).astype(np.float32)
+        engine.run(series)
+        stats = engine.buffer_pool_stats()
+        assert "kettle" in stats
+        assert stats["kettle"]["fresh_allocations"] > 0
+
+
+class TestUpsampleSegmentSum:
+    """Oracle test: the bincount backward equals the old ``np.add.at`` path."""
+
+    @staticmethod
+    def _old_backward(x_data, idx, grad):
+        d_x = np.zeros_like(x_data)
+        np.add.at(d_x, (slice(None), slice(None), idx), grad)
+        return d_x
+
+    @pytest.mark.parametrize("length,target", [(5, 13), (10, 4), (7, 7), (3, 50)])
+    def test_matches_add_at_oracle(self, length, target):
+        x = Tensor(RNG.normal(size=(2, 3, length)).astype(np.float32), requires_grad=True)
+        out = F.upsample_to1d(x, target)
+        upstream = RNG.normal(size=out.shape).astype(np.float32)
+        out.backward(upstream)
+        idx = np.minimum((np.arange(target) * length) // target, length - 1)
+        oracle = self._old_backward(x.data, idx, upstream)
+        np.testing.assert_allclose(x.grad, oracle, rtol=1e-5, atol=1e-6)
