@@ -20,6 +20,10 @@ The speedup structure is shape-dependent by design:
 
 * im2col beats reference at every paper shape in aggregate (geometric
   mean), and by >= 2x on the entry convolutions;
+* the grouped execution plan (traced eval, batched per-layer-group GEMMs)
+  beats the per-member module loop >= 1.5x over the paper's five-member
+  kernel set at the compact filter preset — the graph-level-fusion
+  claim; the BLAS-saturated full-width row rides along unasserted;
 * steady-state fused inference performs **zero** fresh pool allocations
   per micro-batch after warm-up;
 * training loss trajectories are bit-identical run-to-run under
@@ -124,6 +128,101 @@ def summarize_conv(rows):
     }
 
 
+def bench_fused_ensemble(n=8, length=128, filters=(4, 8, 8), repeats=7):
+    """Traced grouped-GEMM plan vs the per-member module loop.
+
+    Builds the paper's five-member kernel set ``{5,7,9,15,25}`` at the
+    given filter widths and times ``forward_fused`` three ways over the
+    same batch: with ``REPRO_NN_PLAN=off REPRO_NN_FUSE=off`` (the staged
+    conv -> shift -> ReLU per-member loop), with ``REPRO_NN_PLAN=off``
+    (the per-member loop with the fused conv epilogue), and through the
+    traced plan whose conv layers run as one batched GEMM per shape
+    group.  The loop/plan timings are interleaved and each reported as a
+    min-of-``repeats`` so a scheduler stall on a shared box cannot skew
+    the ratio in either direction.
+
+    The headline ``fused_speedup`` (plan vs fused per-member loop) is
+    asserted ``>= 1.5x`` in ``--smoke`` at the *compact* filter preset
+    ``(4, 8, 8)``, where the per-member loop is dispatch-bound and the
+    plan's zero-dispatch replay is a structural win.  At the full paper
+    width ``(64, 128, 128)`` both paths are BLAS-saturated and the
+    margin shrinks to ~1.2-1.4x — that row is reported in the JSON for
+    the record but not asserted.
+    """
+    import os
+
+    from repro.core import DEFAULT_KERNEL_SET, ResNetConfig, ResNetEnsemble, ResNetTSC
+
+    models = [
+        ResNetTSC(ResNetConfig(kernel_size=k, filters=filters, seed=i)).eval()
+        for i, k in enumerate(DEFAULT_KERNEL_SET)
+    ]
+    ensemble = ResNetEnsemble(models)
+    x = (np.random.default_rng(3).random((n, length)) * 2.0).astype(np.float32)
+
+    saved = {k: os.environ.get(k) for k in ("REPRO_NN_PLAN", "REPRO_NN_FUSE")}
+
+    def run(plan: bool, fuse: bool = True):
+        os.environ.pop("REPRO_NN_PLAN", None) if plan else os.environ.update(
+            REPRO_NN_PLAN="off"
+        )
+        os.environ.pop("REPRO_NN_FUSE", None) if fuse else os.environ.update(
+            REPRO_NN_FUSE="off"
+        )
+        return ensemble.forward_fused(x, batch_size=n)
+
+    try:
+        run(plan=False)  # warm pool + autotuner
+        run(plan=True)  # traces + validates the plan
+        backend.reset_op_counts()
+        run(plan=True)  # one pure replay for the count
+        gemms_per_batch = backend.op_counts()["fused_conv_gemms"]
+        mins = {"staged": float("inf"), "loop": float("inf"), "plan": float("inf")}
+        for _ in range(repeats):
+            for key, plan, fuse in (
+                ("staged", False, False),
+                ("loop", False, True),
+                ("plan", True, True),
+            ):
+                start = time.perf_counter()
+                run(plan, fuse)
+                mins[key] = min(mins[key], time.perf_counter() - start)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    return {
+        "n_members": len(models),
+        "n": n,
+        "length": length,
+        "filters": list(filters),
+        "staged_loop_s": mins["staged"],
+        "member_loop_s": mins["loop"],
+        "fused_plan_s": mins["plan"],
+        "fused_speedup": mins["loop"] / mins["plan"],
+        "speedup_vs_staged": mins["staged"] / mins["plan"],
+        "grouped_gemms_per_batch": gemms_per_batch,
+        "plan": ensemble.plan_cache.stats,
+    }
+
+
+def summarize_fused_ensemble(rows):
+    """Batch-size sweep of the plan-vs-loop ratio, summarized by geomean.
+
+    The smoke assertion targets the geometric mean across batch sizes so
+    one noisy sample on a busy box cannot flip the verdict either way.
+    """
+    return {
+        "rows": rows,
+        "geomean_fused_speedup": _geomean(r["fused_speedup"] for r in rows),
+        "geomean_speedup_vs_staged": _geomean(r["speedup_vs_staged"] for r in rows),
+        "grouped_gemms_per_batch": rows[0]["grouped_gemms_per_batch"],
+        "plan": rows[-1]["plan"],
+    }
+
+
 def bench_engine(series_length=6000):
     """End-to-end serving windows/s + the pool's steady-state counters."""
     from repro.core import CamAL, ResNetConfig, ResNetEnsemble, ResNetTSC
@@ -141,7 +240,7 @@ def bench_engine(series_length=6000):
         np.float32
     )
 
-    engine.run(series)  # warm-up: populates the buffer pool
+    engine.run(series)  # warm-up: populates the buffer pool, traces plans
     warm_allocations = camal.ensemble.buffer_pool.fresh_allocations
     seconds = _time(lambda: engine.run(series), repeats=2)
     stats = camal.ensemble.buffer_pool.stats
@@ -153,6 +252,7 @@ def bench_engine(series_length=6000):
         "steady_state_fresh_allocations": stats["fresh_allocations"]
         - warm_allocations,
         "pool": stats,
+        "plan": engine.plan_stats().get("appliance", {}),
     }
 
 
@@ -199,6 +299,12 @@ def run_report(smoke=False):
         "default_backend": backend.get_backend(),
         "conv_shapes": conv_rows,
         "summary": summarize_conv(conv_rows),
+        "fused_ensemble": summarize_fused_ensemble(
+            [bench_fused_ensemble(n=n) for n in (4, 8, 16)]
+        ),
+        "fused_ensemble_paper_width": bench_fused_ensemble(
+            n=16, filters=(64, 128, 128), repeats=2 if smoke else 4
+        ),
         "engine": bench_engine(series_length=3000 if smoke else 6000),
         "training": bench_training_determinism(),
     }
@@ -215,6 +321,12 @@ def check_smoke(report):
     assert summary["geomean_speedup_im2col"] > 1.0, (
         "im2col must beat reference across the Table-II inventory: "
         f"{summary['geomean_speedup_im2col']:.2f}x"
+    )
+    fused = report["fused_ensemble"]
+    assert fused["geomean_fused_speedup"] >= 1.5, (
+        "the grouped execution plan must beat the per-member loop >=1.5x "
+        "(geomean over batch sizes) over the paper kernel set: "
+        f"{fused['geomean_fused_speedup']:.2f}x"
     )
     engine = report["engine"]
     assert engine["steady_state_fresh_allocations"] == 0, (

@@ -95,6 +95,9 @@ def run_benchmark() -> dict:
         "legacy_windows_per_sec": N_WINDOWS / legacy_seconds,
         "speedup": legacy_seconds / fused_seconds,
         "max_abs_soft_status_diff": max_abs_diff,
+        # Plan-cache counters for the fused path: the timed calls above
+        # replay one traced grouped-GEMM plan per micro-batch signature.
+        "plan": camal.ensemble.plan_cache.stats,
     }
 
 

@@ -74,6 +74,10 @@ class ResNetEnsemble:
         #: Arena recycling conv scratch/outputs across fused micro-batches;
         #: created on first use so a freshly loaded ensemble carries none.
         self._pool: Optional[nn.backend.BufferPool] = None
+        #: Traced grouped-GEMM plans per (batch, window, backend) signature
+        #: (see :mod:`repro.core.grouped`); lazy like the pool.
+        self._plan_cache: Optional[nn.PlanCache] = None
+        self._plan_unsupported: set = set()
 
     @property
     def buffer_pool(self) -> nn.backend.BufferPool:
@@ -82,6 +86,13 @@ class ResNetEnsemble:
             self._pool = nn.backend.BufferPool()
         return self._pool
 
+    @property
+    def plan_cache(self) -> nn.PlanCache:
+        """Cache of traced grouped execution plans (+ trace/replay counters)."""
+        if self._plan_cache is None:
+            self._plan_cache = nn.PlanCache()
+        return self._plan_cache
+
     def __len__(self) -> int:
         return len(self.models)
 
@@ -89,10 +100,94 @@ class ResNetEnsemble:
     def kernel_sizes(self) -> List[int]:
         return [m.kernel_size for m in self.models]
 
+    def _plan_outputs(
+        self, xb: np.ndarray, class_index: int, with_cam: bool
+    ) -> Optional[Tuple[np.ndarray, Optional[np.ndarray]]]:
+        """One micro-batch through the traced grouped plan, or ``None``.
+
+        ``None`` means "take the untraced member loop" — plan layer
+        disabled (``REPRO_NN_PLAN=off``), members in training mode, an
+        untraceable structure, or a failed trace-time validation.  Every
+        fallback is counted in :attr:`plan_cache` so it shows up in
+        ``engine.plan_stats()`` and the benchmark JSON.  Must run inside
+        the ``no_grad`` + ``use_pool`` context of the caller.
+        """
+        from .grouped import PlanUnsupported, compile_ensemble_plan
+
+        cache = self.plan_cache
+        if not nn.plan_enabled() or any(m.training for m in self.models):
+            cache.record_fallback()
+            return None
+        n, length = xb.shape
+        signature = (
+            n, length, class_index, with_cam, nn.backend.get_backend(), len(self.models),
+        )
+        plan = cache.get(signature)
+        if plan is None:
+            if signature in self._plan_unsupported:
+                cache.record_fallback()
+                return None
+            try:
+                plan = compile_ensemble_plan(
+                    self.models, self.buffer_pool, n, length,
+                    class_index=class_index, with_cam=with_cam,
+                )
+            except PlanUnsupported:
+                self._plan_unsupported.add(signature)
+                cache.record_fallback()
+                return None
+            np.copyto(plan.inputs["x"], xb)
+            plan.run()
+            proba = plan.outputs["proba"].copy()
+            cam = plan.outputs["cam"].copy() if with_cam else None
+            # Validate the trace against the untraced loop once, then keep
+            # the plan.  Returning the *plan* output here keeps the first
+            # call bit-consistent with every replay (the serving cache's
+            # bit-identity contract).
+            check_proba = np.zeros(n, dtype=np.float32)
+            check_cam = np.zeros((n, length), dtype=np.float32)
+            self._forward_fused_loop(xb, check_proba, check_cam, 0, class_index)
+            ok = np.allclose(proba, check_proba, atol=1e-4)
+            if with_cam:
+                ok = ok and np.allclose(cam, check_cam, atol=1e-4)
+            if not ok:
+                self._plan_unsupported.add(signature)
+                cache.record_fallback()
+                return None
+            cache.put(signature, plan)
+            return proba, cam
+        np.copyto(plan.inputs["x"], xb)
+        plan.run()
+        cache.record_replay()
+        return (
+            plan.outputs["proba"].copy(),
+            plan.outputs["cam"].copy() if with_cam else None,
+        )
+
     def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Ensemble detection probability: mean of member probabilities."""
-        probs = np.stack([predict_proba(m, x, batch_size) for m in self.models])
-        return probs.mean(axis=0)
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 2:
+            probs = np.stack([predict_proba(m, x, batch_size) for m in self.models])
+            return probs.mean(axis=0)
+        n = len(x)
+        out = np.empty(n, dtype=np.float32)
+        pool = self.buffer_pool
+        with nn.no_grad(), nn.backend.use_pool(pool):
+            for start in range(0, n, batch_size):
+                pool.step()
+                xb = x[start : start + batch_size]
+                got = self._plan_outputs(xb, class_index=1, with_cam=False)
+                if got is not None:
+                    out[start : start + len(xb)] = got[0]
+                else:
+                    batch = Tensor(xb[:, None, :])
+                    member = np.stack(
+                        [F.softmax(m(batch), axis=1).data[:, 1] for m in self.models]
+                    )
+                    out[start : start + len(xb)] = member.mean(axis=0)
+            pool.step()
+        return out
 
     def predict_detection(
         self, x: np.ndarray, threshold: float = 0.5, batch_size: int = 256
@@ -118,28 +213,45 @@ class ResNetEnsemble:
         n, length = x.shape
         proba = np.zeros(n, dtype=np.float32)
         cam = np.zeros((n, length), dtype=np.float32)
-        inv_members = 1.0 / len(self.models)
-        # The micro-batch loop runs through the ensemble's buffer pool:
-        # every batch's results are folded into the accumulators before
-        # pool.step() recycles that batch's conv scratch and feature maps,
-        # so steady-state scoring performs no large allocations.
+        # The micro-batch loop runs through the ensemble's buffer pool.
+        # Each batch goes through the traced grouped-GEMM plan (one batched
+        # matmul per layer group, zero module dispatch — repro.core.grouped)
+        # when one is available, and through the per-member loop otherwise;
+        # pool.step() then recycles that batch's conv scratch, so
+        # steady-state scoring performs no large allocations.
         pool = self.buffer_pool
         with nn.no_grad(), nn.backend.use_pool(pool):
             for start in range(0, n, batch_size):
                 pool.step()
-                batch = Tensor(x[start : start + batch_size][:, None, :])
-                for model in self.models:
-                    logits, feats = model.forward_with_features(batch)
-                    member_proba = F.softmax(logits, axis=1).data[:, 1]
-                    member_cam = normalize_cam(
-                        cam_from_features(
-                            feats.data, model.head.weight.data[class_index]
-                        )
-                    )
-                    proba[start : start + len(member_proba)] += member_proba * inv_members
-                    cam[start : start + len(member_cam)] += member_cam * inv_members
+                xb = x[start : start + batch_size]
+                got = self._plan_outputs(xb, class_index, with_cam=True)
+                if got is not None:
+                    proba[start : start + len(xb)] = got[0]
+                    cam[start : start + len(xb)] = got[1]
+                else:
+                    self._forward_fused_loop(xb, proba, cam, start, class_index)
             pool.step()
         return FusedForwardOutput(proba=proba, cam=cam)
+
+    def _forward_fused_loop(
+        self,
+        xb: np.ndarray,
+        proba: np.ndarray,
+        cam: np.ndarray,
+        start: int,
+        class_index: int,
+    ) -> None:
+        """The untraced per-member micro-batch: fallback and trace validator."""
+        inv_members = 1.0 / len(self.models)
+        batch = Tensor(xb[:, None, :])
+        for model in self.models:
+            logits, feats = model.forward_with_features(batch)
+            member_proba = F.softmax(logits, axis=1).data[:, 1]
+            member_cam = normalize_cam(
+                cam_from_features(feats.data, model.head.weight.data[class_index])
+            )
+            proba[start : start + len(member_proba)] += member_proba * inv_members
+            cam[start : start + len(member_cam)] += member_cam * inv_members
 
     def num_parameters(self) -> int:
         return sum(m.num_parameters() for m in self.models)

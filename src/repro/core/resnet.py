@@ -17,6 +17,7 @@ applied to the last conv feature maps before pooling.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -78,9 +79,24 @@ class ConvBlock(nn.Module):
         np.multiply(conv.weight.data, scale[:, None, None], out=folded)
         if conv.bias is not None:
             shift = shift + conv.bias.data * scale
-        return nn.functional.conv1d(
-            x, Tensor(folded), Tensor(shift), stride=conv.stride, padding=conv.padding
-        ).relu()
+        if os.environ.get("REPRO_NN_FUSE", "").lower() in ("off", "0", "false"):
+            # Escape hatch (mirrors REPRO_NN_PLAN=off): stage conv, shift
+            # and ReLU as separate passes — the pre-fusion eval path, kept
+            # as an A/B baseline for the fused epilogue below.
+            return nn.functional.conv1d(
+                x,
+                Tensor(folded),
+                Tensor(shift),
+                stride=conv.stride,
+                padding=conv.padding,
+            ).relu()
+        # Single fused backend call: the conv GEMM applies the folded
+        # scale/shift and the ReLU in its epilogue, in the pooled output
+        # buffer — same bits as conv + bias + relu staged separately.
+        out = nn.backend.conv1d_fused(
+            x.data, folded, shift=shift, stride=conv.stride, padding=conv.padding
+        )
+        return Tensor(out)
 
 
 class ResUnit(nn.Module):

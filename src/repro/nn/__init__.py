@@ -6,7 +6,7 @@ autodiff (:mod:`repro.nn.tensor`), fused NN primitives
 serialization.  See DESIGN.md §2 for the substitution rationale.
 """
 
-from . import backend, functional
+from . import backend, functional, plan
 from .attention import MultiHeadSelfAttention, TransformerEncoderLayer
 from .data import DataLoader, Dataset, Subset, TensorDataset, balance_binary, random_split
 from .layers import (
@@ -25,7 +25,8 @@ from .layers import (
     UpsampleNearest1d,
 )
 from .losses import BCEWithLogitsLoss, CrossEntropyLoss, MSELoss
-from .modules import Module, ModuleList, Sequential
+from .modules import Module, ModuleList, Sequential, module_calls
+from .plan import ExecutionPlan, PlanBuilder, PlanCache, plan_enabled
 from .optim import (
     Adam,
     AdamW,
@@ -54,6 +55,12 @@ from .utils import check_gradients, count_parameters, one_hot, seed_everything
 __all__ = [
     "backend",
     "functional",
+    "plan",
+    "ExecutionPlan",
+    "PlanBuilder",
+    "PlanCache",
+    "plan_enabled",
+    "module_calls",
     "graph_nodes_created",
     "Tensor",
     "tensor",

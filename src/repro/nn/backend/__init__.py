@@ -41,21 +41,34 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from . import fft, im2col, reference
-from .autotune import CACHE_ENV, ConvAutotuner, Signature
+from . import counters, fft, im2col, reference
+from .autotune import (
+    AUTOTUNE_ENV,
+    CACHE_ENV,
+    ConvAutotuner,
+    Signature,
+    autotune_enabled,
+)
+from .counters import op_counts, reset_op_counts
 from .pool import BufferPool, current_pool, scratch, use_pool
 
 __all__ = [
+    "AUTOTUNE_ENV",
     "BACKEND_ENV",
     "CACHE_ENV",
     "BufferPool",
+    "autotune_enabled",
     "available_backends",
     "autotune_cache_dirty",
     "autotune_choices",
     "clear_autotune_cache",
+    "conv1d_fused",
     "current_pool",
     "get_backend",
     "load_autotune_cache",
+    "op_counts",
+    "pad_scratch",
+    "reset_op_counts",
     "resolve_conv",
     "save_autotune_cache",
     "scratch",
@@ -138,6 +151,46 @@ def resolve_conv(x_pad: np.ndarray, weight: np.ndarray, stride: int):
     c_out, _, kernel = weight.shape
     signature: Signature = (n, c_in, c_out, kernel, l_pad, stride)
     return _KERNELS[_autotuner.choose(signature, x_pad, weight, stride)]
+
+
+def pad_scratch(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the last axis into a pool-aware scratch buffer.
+
+    ``np.pad`` allocates a fresh array on every call; on the inference hot
+    path the padded copy can come from the active :class:`BufferPool`
+    instead (the pad margins are rewritten to zero each time, so a
+    recycled buffer can never leak a previous batch's edges).
+    """
+    if padding <= 0:
+        return x
+    n, c, length = x.shape
+    x_pad = scratch((n, c, length + 2 * padding), x.dtype)
+    x_pad[:, :, :padding] = 0.0
+    x_pad[:, :, padding + length :] = 0.0
+    np.copyto(x_pad[:, :, padding : padding + length], x)
+    return x_pad
+
+
+def conv1d_fused(
+    x: np.ndarray,
+    weight: np.ndarray,
+    shift: Optional[np.ndarray] = None,
+    stride: int = 1,
+    padding: int = 0,
+    relu: bool = True,
+) -> np.ndarray:
+    """Fused conv -> per-channel shift -> ReLU on raw arrays (inference only).
+
+    The single backend entry point behind the folded ConvBlock
+    (:class:`repro.core.resnet.ConvBlock`) and the grouped ensemble
+    executor: one kernel call computes the convolution and applies the
+    already-folded batch-norm shift and the ReLU in its epilogue, writing
+    into a pooled output buffer.  Callers must guarantee gradients are
+    off — no backward context exists on this path.
+    """
+    x_pad = pad_scratch(x, padding)
+    kern = resolve_conv(x_pad, weight, stride)
+    return kern.forward_fused(x_pad, weight, stride, shift=shift, relu=relu)
 
 
 # -- autotuner cache surface ----------------------------------------------

@@ -35,6 +35,27 @@ Signature = Tuple[int, int, int, int, int, int]
 #: and rewrites whenever a new signature is tuned.
 CACHE_ENV = "REPRO_NN_AUTOTUNE_CACHE"
 
+#: Escape hatch: ``REPRO_NN_AUTOTUNE=off`` (or ``0``/``false``/``no``)
+#: makes ``choose`` return the default kernel without ever timing — the
+#: first-call timing pass otherwise runs *inside* whatever hot path first
+#: hits an untuned shape, which is exactly where a latency-sensitive
+#: serving deployment cannot afford it.
+AUTOTUNE_ENV = "REPRO_NN_AUTOTUNE"
+
+#: Kernel served for every signature when tuning is disabled (the process
+#: default backend — bit-stable and fastest on most paper shapes).
+DEFAULT_KERNEL = "im2col"
+
+
+def autotune_enabled() -> bool:
+    """Whether first-call timing is allowed (``REPRO_NN_AUTOTUNE`` gate)."""
+    return os.environ.get(AUTOTUNE_ENV, "").strip().lower() not in (
+        "off",
+        "0",
+        "false",
+        "no",
+    )
+
 #: Timing repetitions per candidate (best-of damps scheduler noise).
 TIMING_REPEATS = 2
 
@@ -117,6 +138,11 @@ class ConvAutotuner:
         cached = self._choices.get(signature)
         if cached is not None:
             return cached
+        if not autotune_enabled():
+            # Serve the default without timing and without caching the
+            # choice: re-enabling the tuner later must re-tune, not inherit
+            # an untimed entry (and the table must never persist one).
+            return DEFAULT_KERNEL
         best_name, best_time = None, float("inf")
         for name, kernel in self._kernels.items():
             elapsed = min(

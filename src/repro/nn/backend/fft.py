@@ -29,6 +29,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from . import counters
 from .pool import scratch
 
 DTYPE = np.float32
@@ -88,6 +89,30 @@ def forward(
     out = scratch((n, c_out, l_out), x_pad.dtype)
     np.copyto(out, valid)
     return out, None
+
+
+def forward_fused(
+    x_pad: np.ndarray,
+    weight: np.ndarray,
+    stride: int,
+    shift: Optional[np.ndarray] = None,
+    relu: bool = True,
+) -> np.ndarray:
+    """Inference-only conv with the folded-BN scale/shift + ReLU epilogue.
+
+    Same transform pipeline as :func:`forward`; the epilogue runs in place
+    on the (pooled) output, so fused blocks pay no extra activation pass.
+    The FFT temporaries themselves still allocate (``np.fft`` owns them) —
+    the plan layer's zero-allocation replay guarantee is an im2col-path
+    property, documented in ``docs/nn.md``.
+    """
+    out, _ = forward(x_pad, weight, stride, keep_ctx=False)
+    counters.record("fused_conv_calls")
+    if shift is not None:
+        out += shift[None, :, None]
+    if relu:
+        np.maximum(out, 0, out=out)
+    return out
 
 
 def _dilate(grad: np.ndarray, stride: int) -> np.ndarray:

@@ -36,6 +36,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from . import counters
 from .pool import scratch
 
 DTYPE = np.float32
@@ -77,6 +78,38 @@ def forward(
     np.matmul(weight.reshape(c_out, c_in * kernel), cols, out=out)
     ctx = Ctx(cols, weight, stride, l_pad) if keep_ctx else None
     return out, ctx
+
+
+def forward_fused(
+    x_pad: np.ndarray,
+    weight: np.ndarray,
+    stride: int,
+    shift: Optional[np.ndarray] = None,
+    relu: bool = True,
+) -> np.ndarray:
+    """Inference-only conv with the folded-BN scale/shift + ReLU epilogue.
+
+    The GEMM is the exact one :func:`forward` issues — ``(C_out, C_in*K) @
+    (C_in*K, L_out)`` per sample — so the output bits match conv-then-bias
+    -then-ReLU computed separately; the epilogue just lands in the same
+    (pooled) output buffer instead of paying an extra pass per stage.  No
+    backward context exists on this path by construction.
+    """
+    n, c_in, l_pad = x_pad.shape
+    c_out, _, kernel = weight.shape
+    l_out = (l_pad - kernel) // stride + 1
+    cols4 = scratch((n, c_in, kernel, l_out), x_pad.dtype)
+    _fill_cols(cols4, x_pad, stride)
+    cols = cols4.reshape(n, c_in * kernel, l_out)
+    out = scratch((n, c_out, l_out), x_pad.dtype)
+    np.matmul(weight.reshape(c_out, c_in * kernel), cols, out=out)
+    counters.record("fused_conv_calls")
+    counters.record("fused_conv_gemms")
+    if shift is not None:
+        out += shift[None, :, None]
+    if relu:
+        np.maximum(out, 0, out=out)
+    return out
 
 
 def grad_weight(ctx: Ctx, grad: np.ndarray) -> np.ndarray:

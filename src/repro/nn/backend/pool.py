@@ -55,6 +55,26 @@ class BufferPool:
         self._taken.append((key, arr))
         return arr
 
+    def take_persistent(self, shape, dtype=np.float32) -> np.ndarray:
+        """A buffer the caller owns for the pool's lifetime (never recycled).
+
+        Used by traced eval plans (:mod:`repro.nn.plan`) to pre-resolve
+        their slots once at trace time: the buffer is counted in the pool's
+        allocation statistics like any other, but it is *not* appended to
+        the taken list, so no later :meth:`step` can hand it to someone
+        else while the plan still writes into it on every replay.
+        """
+        key: _Key = (tuple(int(s) for s in shape), np.dtype(dtype).str)
+        free = self._free.get(key)
+        if free:
+            arr = free.pop()
+            self.reuses += 1
+        else:
+            arr = np.empty(key[0], dtype=dtype)
+            self.fresh_allocations += 1
+            self.bytes_allocated += arr.nbytes
+        return arr
+
     def step(self) -> None:
         """Recycle every buffer handed out since the previous step."""
         for key, arr in self._taken:

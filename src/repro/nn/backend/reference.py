@@ -14,6 +14,8 @@ from typing import Optional, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from . import counters
+
 DTYPE = np.float32
 
 NAME = "reference"
@@ -39,6 +41,28 @@ def forward(
     out = np.ascontiguousarray(out.transpose(0, 2, 1))
     ctx = Ctx(windows, weight, stride, x_pad.shape[2]) if keep_ctx else None
     return out, ctx
+
+
+def forward_fused(
+    x_pad: np.ndarray,
+    weight: np.ndarray,
+    stride: int,
+    shift: Optional[np.ndarray] = None,
+    relu: bool = True,
+) -> np.ndarray:
+    """Inference-only conv with the folded-BN scale/shift + ReLU epilogue.
+
+    Identical contraction to :func:`forward`, with the per-channel shift
+    and ReLU applied in place on the output — the ground-truth counterpart
+    of the fast kernels' fused entry points.
+    """
+    out, _ = forward(x_pad, weight, stride, keep_ctx=False)
+    counters.record("fused_conv_calls")
+    if shift is not None:
+        out += shift[None, :, None]
+    if relu:
+        np.maximum(out, 0, out=out)
+    return out
 
 
 def grad_weight(ctx: Ctx, grad: np.ndarray) -> np.ndarray:

@@ -62,8 +62,13 @@ def conv1d(
     if length + 2 * padding < kernel:
         raise ValueError("input (plus padding) shorter than kernel")
 
-    x_pad = np.pad(x.data, ((0, 0), (0, 0), (padding, padding))) if padding else x.data
     needs = _needs_grad(x, weight, bias)
+    if padding and needs:
+        # The backward contractions may retain x_pad (or views of it) in
+        # their context, so it must not come from the recycling pool.
+        x_pad = np.pad(x.data, ((0, 0), (0, 0), (padding, padding)))
+    else:
+        x_pad = backend.pad_scratch(x.data, padding) if padding else x.data
     kern = backend.resolve_conv(x_pad, weight.data, stride)
     out, ctx = kern.forward(x_pad, weight.data, stride, keep_ctx=needs)
     if bias is not None:

@@ -9,6 +9,16 @@ import numpy as np
 
 from .tensor import Tensor
 
+#: Process-wide count of Module.__call__ dispatches.  Cheap enough to keep
+#: always-on; plan-replay tests assert it stays flat across a replay (the
+#: whole point of a traced plan is that no module dispatch happens at all).
+_module_calls = 0
+
+
+def module_calls() -> int:
+    """Total ``Module.__call__`` dispatches since process start."""
+    return _module_calls
+
 
 class Module:
     """Base class for all neural-network modules.
@@ -124,6 +134,8 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        global _module_calls
+        _module_calls += 1
         return self.forward(*args, **kwargs)
 
 

@@ -1,0 +1,201 @@
+"""``repro.nn.plan`` — traced eval plans: record once, replay flat.
+
+The eval-mode forward of a fixed model on a fixed batch shape always
+executes the same backend calls on the same buffer shapes, yet the module
+path re-pays the interpreter for that discovery on every call: attribute
+walks through ``nn.Module.__call__``, graph-node checks in every
+primitive, Tensor wrappers around every intermediate, and a pool
+transaction per scratch buffer.  This module removes all of it:
+
+* a **trace** runs once per input signature.  It executes the forward
+  eagerly while recording it as a flat list of step closures, each closed
+  over *pre-resolved* buffers (taken from the owning
+  :class:`~repro.nn.backend.BufferPool` via ``take_persistent``) and the
+  live parameter objects it reads;
+* a **replay** is ``for step in steps: step()`` — zero
+  ``nn.Module.__call__`` dispatch, zero graph-node checks, zero
+  allocations on the im2col path (the FFT kernel's internal transform
+  temporaries remain ``np.fft``'s own).
+
+Plans are cached per signature — keyed like the conv autotuner's
+signature on the shapes that determine the call sequence (batch size,
+window length, backend mode, ...) — in a :class:`PlanCache` owned by the
+traced object (the CamAL ensemble keeps one next to its buffer pool).
+Anything the tracer does not support falls back to the untraced path and
+is counted, so regressions show up in ``engine.plan_stats()`` and the
+benchmark JSON rather than as silent slowdowns.
+
+Set ``REPRO_NN_PLAN=off`` to disable tracing entirely (every call takes
+the fallback path); see ``docs/nn.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from .backend.pool import BufferPool
+
+__all__ = [
+    "PLAN_ENV",
+    "ExecutionPlan",
+    "PlanBuilder",
+    "PlanCache",
+    "plan_enabled",
+]
+
+#: Environment variable disabling the plan layer (``off``/``0``/``false``).
+PLAN_ENV = "REPRO_NN_PLAN"
+
+#: A plan cache key: the shape tuple that fixes the traced call sequence.
+Signature = Hashable
+
+
+def plan_enabled() -> bool:
+    """Whether tracing is allowed (checked per call, so tests can flip it)."""
+    return os.environ.get(PLAN_ENV, "").strip().lower() not in (
+        "off",
+        "0",
+        "false",
+        "no",
+    )
+
+
+class ExecutionPlan:
+    """One traced forward: bound buffers plus a flat list of step closures.
+
+    ``inputs`` and ``outputs`` name the pre-resolved buffers the caller
+    copies into before :meth:`run` and reads after it.  The caller must
+    copy outputs *out* before the next replay — every slot is rewritten.
+    """
+
+    __slots__ = ("signature", "steps", "inputs", "outputs", "replays")
+
+    def __init__(
+        self,
+        signature: Signature,
+        steps: List[Callable[[], None]],
+        inputs: Dict[str, np.ndarray],
+        outputs: Dict[str, np.ndarray],
+    ):
+        self.signature = signature
+        self.steps: Tuple[Callable[[], None], ...] = tuple(steps)
+        self.inputs = dict(inputs)
+        self.outputs = dict(outputs)
+        self.replays = 0
+
+    def run(self) -> None:
+        """Replay the recorded calls — nothing else happens on this path."""
+        for step in self.steps:
+            step()
+        self.replays += 1
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class PlanBuilder:
+    """Collects steps and hands out pre-resolved buffer slots during a trace.
+
+    Slot allocation is arena-style with explicit reuse: :meth:`buffer`
+    serves a slot (recycling a released one of the same shape/dtype when
+    available), :meth:`release` returns a slot whose last consumer has
+    been recorded.  The tracer knows every lifetime exactly — it is
+    writing the schedule — so peak plan memory stays near the live set of
+    the forward instead of one buffer per recorded value.
+    """
+
+    def __init__(self, pool: Optional[BufferPool] = None):
+        self._pool = pool
+        self._steps: List[Callable[[], None]] = []
+        self._free: Dict[Tuple[Tuple[int, ...], str], List[np.ndarray]] = {}
+
+    def buffer(self, shape, dtype=np.float32) -> np.ndarray:
+        """A plan-owned slot of ``shape``/``dtype`` (recycled when possible)."""
+        key = (tuple(int(s) for s in shape), np.dtype(dtype).str)
+        free = self._free.get(key)
+        if free:
+            return free.pop()
+        if self._pool is not None:
+            return self._pool.take_persistent(key[0], dtype)
+        return np.empty(key[0], dtype=dtype)
+
+    def release(self, arr: np.ndarray) -> None:
+        """Mark a slot reusable for later :meth:`buffer` requests.
+
+        Only whole slots obtained from :meth:`buffer` may be released —
+        releasing a view would alias two live recorded values.
+        """
+        key = (tuple(arr.shape), arr.dtype.str)
+        self._free.setdefault(key, []).append(arr)
+
+    def emit(self, step: Callable[[], None]) -> None:
+        """Append one recorded backend call to the plan."""
+        self._steps.append(step)
+
+    def build(
+        self,
+        signature: Signature,
+        inputs: Dict[str, np.ndarray],
+        outputs: Dict[str, np.ndarray],
+    ) -> ExecutionPlan:
+        return ExecutionPlan(signature, self._steps, inputs, outputs)
+
+
+class PlanCache:
+    """LRU cache of :class:`ExecutionPlan` per signature, with counters.
+
+    ``traces`` counts plan recordings, ``replays`` counts plan executions,
+    ``fallbacks`` counts calls that ran the untraced path (plan layer
+    disabled, unsupported structure, or a failed trace-time validation).
+    The serving engine surfaces these via ``plan_stats()`` next to
+    ``buffer_pool_stats()``.
+    """
+
+    def __init__(self, max_plans: int = 16):
+        if max_plans < 1:
+            raise ValueError(f"max_plans must be >= 1, got {max_plans}")
+        self.max_plans = max_plans
+        self._plans: "OrderedDict[Signature, ExecutionPlan]" = OrderedDict()
+        self.traces = 0
+        self.replays = 0
+        self.fallbacks = 0
+
+    def get(self, signature: Signature) -> Optional[ExecutionPlan]:
+        plan = self._plans.get(signature)
+        if plan is not None:
+            self._plans.move_to_end(signature)
+        return plan
+
+    def put(self, signature: Signature, plan: ExecutionPlan) -> ExecutionPlan:
+        self._plans[signature] = plan
+        self._plans.move_to_end(signature)
+        self.traces += 1
+        while len(self._plans) > self.max_plans:
+            self._plans.popitem(last=False)
+        return plan
+
+    def record_replay(self, n: int = 1) -> None:
+        self.replays += n
+
+    def record_fallback(self, n: int = 1) -> None:
+        self.fallbacks += n
+
+    def clear(self) -> None:
+        """Drop every cached plan (counters are kept, like BufferPool)."""
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "plans": len(self._plans),
+            "traces": self.traces,
+            "replays": self.replays,
+            "fallbacks": self.fallbacks,
+        }

@@ -250,16 +250,42 @@ class InferenceEngine:
         self.pipelines[appliance] = pipeline
         return self
 
-    def load(self, appliance: str, directory: str) -> "InferenceEngine":
+    def load(
+        self, appliance: str, directory: str, warm: bool = True
+    ) -> "InferenceEngine":
         """Load any persisted estimator directory and register it.
 
         Dispatches through :func:`repro.api.persistence.load_estimator`,
         so both legacy ``save_camal`` layouts and generic format-2
-        manifests (baseline adapters) serve transparently.
+        manifests (baseline adapters) serve transparently.  With ``warm``
+        (the default) the engine immediately pushes one batch of zeros
+        through the new pipeline so the backend autotuner times its conv
+        shapes and the plan layer traces its execution plan *now*, not on
+        the first real request — and persists the autotune table if
+        ``autotune_cache`` is configured.
         """
         from ..api.persistence import load_estimator
 
-        return self.register(appliance, load_estimator(directory))
+        self.register(appliance, load_estimator(directory))
+        if warm:
+            self.warmup(appliance)
+        return self
+
+    def warmup(self, appliance: Optional[str] = None) -> "InferenceEngine":
+        """Prime the autotune and execution-plan caches with a dummy batch.
+
+        Runs ``(batch_size, window)`` zeros through each selected
+        pipeline under the engine's configured backend — the same shapes
+        real serving uses, so every shape the autotuner would time and
+        every plan signature the tracer would record is warm before the
+        first request.  Newly tuned shapes are persisted right away.
+        """
+        names = list(self.pipelines) if appliance is None else [appliance]
+        windows = np.zeros((self.config.batch_size, self.config.window), np.float32)
+        for name in names:
+            self._localize(self.pipelines[name], windows)
+        self._save_autotune_cache()
+        return self
 
     @property
     def appliances(self) -> List[str]:
@@ -377,6 +403,27 @@ class InferenceEngine:
             pool = getattr(ensemble, "_pool", None)
             if pool is not None:
                 stats[name] = pool.stats
+        return stats
+
+    def plan_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-appliance execution-plan cache counters (repro.nn.plan).
+
+        Same coverage as :meth:`buffer_pool_stats`: pipelines serving
+        through the fused ensemble report ``plans`` / ``traces`` /
+        ``replays`` / ``fallbacks``.  In steady state ``replays`` grows
+        while ``traces`` stays flat — every batch reuses a recorded plan
+        instead of re-dispatching through the module graph.
+        """
+        stats: Dict[str, Dict[str, int]] = {}
+        for name, pipeline in self.pipelines.items():
+            ensemble = getattr(pipeline, "ensemble", None)
+            if ensemble is None:  # estimator adapter wrapping a CamAL
+                ensemble = getattr(
+                    getattr(pipeline, "pipeline", None), "ensemble", None
+                )
+            cache = getattr(ensemble, "_plan_cache", None)
+            if cache is not None:
+                stats[name] = cache.stats
         return stats
 
     def _localize_cached(

@@ -143,6 +143,36 @@ class TestContract:
         reloaded = api.WeakLocalizer.load(str(tmp_path))
         assert isinstance(reloaded, api.WeakLocalizer)
 
+    def test_plan_replay_equivalent_across_backends(self, fitted, monkeypatch):
+        """Traced-plan serving must match the untraced module loop on every
+        conv backend — and repeated planned calls must be bit-identical,
+        or the engine's LRU window cache would drift from fresh compute."""
+        from repro import nn
+
+        _, est = fitted
+        _, _, (x_te, _, _) = _tiny_case()
+        for backend_name in ("reference", "im2col", "fft"):
+            with nn.backend.use_backend(backend_name):
+                monkeypatch.delenv("REPRO_NN_PLAN", raising=False)
+                planned = est.localize(x_te)  # traces (then validates) a plan
+                replayed = est.localize(x_te)  # replays it
+                monkeypatch.setenv("REPRO_NN_PLAN", "off")
+                loop = est.localize(x_te)  # untraced module dispatch
+                monkeypatch.delenv("REPRO_NN_PLAN")
+            assert np.array_equal(planned.detection_proba, replayed.detection_proba)
+            assert np.array_equal(planned.soft_status, replayed.soft_status)
+            assert np.array_equal(planned.status, replayed.status)
+            np.testing.assert_allclose(
+                planned.detection_proba, loop.detection_proba, atol=1e-5
+            )
+            np.testing.assert_allclose(
+                planned.soft_status, loop.soft_status, atol=1e-5
+            )
+            # Binary status may only differ where the soft score sits within
+            # float tolerance of the 0.5 threshold.
+            disagree = planned.status != loop.status
+            assert np.all(np.abs(loop.soft_status[disagree] - 0.5) < 1e-4)
+
     def test_serves_through_inference_engine(self, fitted):
         name, est = fitted
         series = (

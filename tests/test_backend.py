@@ -214,6 +214,9 @@ class TestInferenceMode:
         np.testing.assert_allclose(folded, unfolded, rtol=1e-4, atol=1e-5)
 
     def test_buffer_pool_steady_state_allocates_nothing(self):
+        """Plan replays perform zero new large allocations: the warm-up run
+        takes persistent slots from the pool (trace) plus recycling scratch
+        (the validation loop); afterwards the counter stays flat."""
         from repro.core import ResNetEnsemble
 
         ensemble = ResNetEnsemble([self._tiny_model(seed=s) for s in (0, 1)])
@@ -223,9 +226,62 @@ class TestInferenceMode:
         assert warm > 0  # the warm-up run did populate the pool
         second = ensemble.forward_fused(x, batch_size=8)
         assert ensemble.buffer_pool.fresh_allocations == warm  # zero new
+        assert ensemble.plan_cache.replays > 0  # the second run replayed
+        np.testing.assert_array_equal(first.proba, second.proba)
+        np.testing.assert_array_equal(first.cam, second.cam)
+
+    def test_buffer_pool_steady_state_loop_path_reuses(self, monkeypatch):
+        """With plans disabled, the member loop recycles pool buffers across
+        micro-batches (the pre-plan steady-state guarantee still holds)."""
+        from repro.core import ResNetEnsemble
+
+        monkeypatch.setenv("REPRO_NN_PLAN", "off")
+        ensemble = ResNetEnsemble([self._tiny_model(seed=s) for s in (0, 1)])
+        x = RNG.random((24, 32)).astype(np.float32)
+        first = ensemble.forward_fused(x, batch_size=8)
+        warm = ensemble.buffer_pool.fresh_allocations
+        assert warm > 0
+        second = ensemble.forward_fused(x, batch_size=8)
+        assert ensemble.buffer_pool.fresh_allocations == warm  # zero new
         assert ensemble.buffer_pool.reuses > 0
         np.testing.assert_array_equal(first.proba, second.proba)
         np.testing.assert_array_equal(first.cam, second.cam)
+
+    def test_grouped_plan_one_gemm_per_layer_group_at_paper_shapes(self):
+        """At the paper preset (5 members, distinct kernels {5,7,9,15,25}),
+        a planned forward issues exactly one batched GEMM per layer group —
+        23 in total (per unit: 5 member-specific block1 groups + block2 +
+        block3 [+ shortcut in units 1-2]) — where the member loop issues one
+        GEMM per member per layer (55)."""
+        from repro.core import ResNetConfig, ResNetEnsemble, ResNetTSC
+        from repro.core.resnet import DEFAULT_KERNEL_SET
+
+        models = [
+            ResNetTSC(ResNetConfig(kernel_size=k, filters=(4, 8, 8), seed=i)).eval()
+            for i, k in enumerate(DEFAULT_KERNEL_SET)
+        ]
+        ensemble = ResNetEnsemble(models)
+        x = RNG.random((4, 64)).astype(np.float32)
+        ensemble.forward_fused(x, batch_size=8)  # trace + validate
+        backend.reset_op_counts()
+        ensemble.forward_fused(x, batch_size=8)  # pure replay
+        counts = backend.op_counts()
+        assert counts["fused_conv_gemms"] == 23
+        assert counts["fused_conv_gemms"] < 5 * 11  # vs one GEMM per member
+
+    def test_plan_replay_zero_module_dispatch_and_pool_traffic(self):
+        from repro.core import ResNetEnsemble
+
+        ensemble = ResNetEnsemble([self._tiny_model(seed=s) for s in (0, 1)])
+        x = RNG.random((8, 32)).astype(np.float32)
+        ensemble.forward_fused(x, batch_size=8)  # trace
+        pool = ensemble.buffer_pool
+        before_fresh, before_reuse = pool.fresh_allocations, pool.reuses
+        calls_before = nn.module_calls()
+        ensemble.forward_fused(x, batch_size=8)  # replay
+        assert nn.module_calls() == calls_before
+        assert pool.fresh_allocations == before_fresh
+        assert pool.reuses == before_reuse  # replay touches no pooled scratch
 
 
 class TestEngineBackendChoice:
@@ -291,6 +347,30 @@ class TestEngineBackendChoice:
         stats = engine.buffer_pool_stats()
         assert "kettle" in stats
         assert stats["kettle"]["fresh_allocations"] > 0
+
+    def test_plan_stats_surface_and_warmup(self):
+        engine = self._engine()
+        assert engine.plan_stats() == {}  # nothing traced yet
+        engine.warmup()  # primes the plan cache with a (batch, window) batch
+        stats = engine.plan_stats()
+        assert stats["kettle"]["traces"] >= 1
+        replays_before = stats["kettle"]["replays"]
+        series = np.full(16 * 16 + 16, 800.0, dtype=np.float32)
+        engine.run(series)  # full batches replay the warmed plan
+        assert engine.plan_stats()["kettle"]["replays"] > replays_before
+
+    def test_autotune_off_env_serves_default_kernel(self, monkeypatch):
+        monkeypatch.setenv(backend.AUTOTUNE_ENV, "off")
+        backend.clear_autotune_cache()
+        x = RNG.random((2, 3, 40)).astype(np.float32)
+        w = RNG.random((4, 3, 5)).astype(np.float32)
+        with backend.use_backend("auto"):
+            out = backend.conv1d_fused(x, w, stride=1, padding=2, relu=False)
+        with backend.use_backend("im2col"):
+            ref = backend.conv1d_fused(x, w, stride=1, padding=2, relu=False)
+        np.testing.assert_array_equal(out, ref)
+        # The untimed default must not be cached as if it had been tuned.
+        assert not backend.autotune_cache_dirty()
 
 
 class TestUpsampleSegmentSum:

@@ -221,9 +221,12 @@ class TestFusedLocalization:
             assert np.allclose(fused.soft_status, legacy.soft_status, atol=1e-5)
             assert np.array_equal(fused.status, legacy.status)
 
-    def test_localize_single_forward_per_member_per_batch(self):
-        """The conv stack (``features``) runs exactly once per member per
-        micro-batch — no separate recomputation for the CAM."""
+    def test_localize_single_forward_per_member_per_batch(self, monkeypatch):
+        """The untraced conv stack (``features``) runs exactly once per member
+        per micro-batch — no separate recomputation for the CAM.  Plans are
+        disabled: the traced path never dispatches ``features`` at all (see
+        ``test_planned_localize_skips_module_dispatch``)."""
+        monkeypatch.setenv("REPRO_NN_PLAN", "off")
         camal = _camal(n_models=2, detection_threshold=0.0)  # all detected
         x = _windows(n=10, length=24)
         calls = {"features": 0}
@@ -240,6 +243,39 @@ class TestFusedLocalization:
             _ResNetTSC.features = original
         n_batches = 3  # ceil(10 / 4)
         assert calls["features"] == len(camal.ensemble) * n_batches
+
+    def test_planned_localize_skips_module_dispatch(self):
+        """After the one-time trace, a planned localize replays without a
+        single ``nn.Module.__call__`` — the whole point of the plan layer."""
+        from repro import nn as _nn
+
+        camal = _camal(n_models=2, detection_threshold=0.0)
+        x = _windows(n=8, length=24)
+        first = camal.localize(x, batch_size=8)  # traces + validates
+        cache = camal.ensemble.plan_cache
+        assert cache.traces >= 1
+        before = _nn.module_calls()
+        second = camal.localize(x, batch_size=8)  # pure replay
+        assert _nn.module_calls() == before
+        assert cache.replays >= 1
+        # Replays are bit-identical to the traced first call (the serving
+        # LRU cache's bit-identity contract rides on this).
+        assert np.array_equal(first.detection_proba, second.detection_proba)
+        assert np.array_equal(first.cam, second.cam)
+        assert np.array_equal(first.status, second.status)
+
+    def test_plan_off_env_matches_planned_outputs(self, monkeypatch):
+        """`REPRO_NN_PLAN=off` falls back to the member loop with equal
+        results (proba/CAM within 1e-5; conv GEMMs are bit-identical, the
+        CAM contraction may reassociate)."""
+        camal = _camal(n_models=3, detection_threshold=0.0)
+        x = _windows(n=6, length=24)
+        planned = camal.localize(x, batch_size=8)
+        monkeypatch.setenv("REPRO_NN_PLAN", "off")
+        loop = camal.localize(x, batch_size=8)
+        assert camal.ensemble.plan_cache.fallbacks >= 1
+        assert np.allclose(planned.detection_proba, loop.detection_proba, atol=1e-5)
+        assert np.allclose(planned.cam, loop.cam, atol=1e-5)
 
     def test_double_forward_costs_twice_as_many_passes(self):
         camal = _camal(n_models=2, detection_threshold=0.0)
