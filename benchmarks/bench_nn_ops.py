@@ -36,6 +36,7 @@ Run standalone for the JSON report::
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -292,6 +293,94 @@ def bench_training_determinism(epochs=3):
     }
 
 
+class _RawPool:
+    """The pre-instrumentation BufferPool take/step loop, replicated.
+
+    The sanitizer claim is "free when off": the instrumented pool with
+    ``_tracker is None`` must time the same as the pool as it was before
+    the tracker existed.  There is no pre-instrumentation class left to
+    import, so this replica *is* the baseline — same dict layout, same
+    branch structure minus the tracker checks.
+    """
+
+    def __init__(self):
+        self._free = {}
+        self._taken = []
+
+    def take(self, shape, dtype=np.float32):
+        key = (tuple(int(s) for s in shape), np.dtype(dtype).str)
+        free = self._free.get(key)
+        if free:
+            arr = free.pop()
+        else:
+            arr = np.empty(key[0], dtype=dtype)
+        self._taken.append((key, arr))
+        return arr
+
+    def step(self):
+        for key, arr in self._taken:
+            self._free.setdefault(key, []).append(arr)
+        self._taken.clear()
+
+
+def bench_sanitizer(iters=200, repeats=31):
+    """Pool take/step throughput: raw replica vs instrumented (off and on).
+
+    ``disabled_overhead`` is the contract number: the instrumented pool
+    with the sanitizer off vs the pre-instrumentation replica, on the
+    steady-state (all-reuse) loop.  The enabled row is informational —
+    poison-filling every released buffer is the point, not a regression.
+    """
+    from repro.analysis import sanitize
+    from repro.nn.backend.pool import BufferPool
+
+    shapes = ((8, 128), (8, 16, 128), (8, 16 * 5, 128), (16, 8, 128))
+
+    def loop(pool):
+        def run():
+            for _ in range(iters):
+                for shape in shapes:
+                    pool.take(shape)
+                pool.step()
+        return run
+
+    def warm_and_time(pool):
+        loop(pool)()  # populate the free lists: timed loop is all-reuse
+        return _time(loop(pool), repeats=repeats)
+
+    raw_s = warm_and_time(_RawPool())
+    with sanitize.force(False):
+        disabled_s = warm_and_time(BufferPool())
+    sanitize.reset_stats()
+    with sanitize.force(True):
+        enabled_s = warm_and_time(BufferPool())
+    enabled_stats = sanitize.stats()
+    return {
+        "iters": iters,
+        "raw_pool_s": raw_s,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "disabled_overhead": disabled_s / raw_s - 1.0,
+        "enabled_overhead": enabled_s / raw_s - 1.0,
+        "enabled_poison_fills": enabled_stats["poison_fills"],
+        "enabled_generation_bumps": enabled_stats["generation_bumps"],
+    }
+
+
+def bench_lint():
+    """Self-lint of src/ + benchmarks/ (the CI gate, timed and counted)."""
+    from repro.analysis.lint import run_lint
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    start = time.perf_counter()
+    report = run_lint(["src", "benchmarks"], root=root)
+    elapsed = time.perf_counter() - start
+    counts = report.counts()
+    counts["lint_s"] = elapsed
+    counts["rules_violated"] = sorted({v.rule for v in report.errors})
+    return counts
+
+
 def run_report(smoke=False):
     conv_rows = bench_conv_shapes()
     report = {
@@ -307,6 +396,10 @@ def run_report(smoke=False):
         ),
         "engine": bench_engine(series_length=3000 if smoke else 6000),
         "training": bench_training_determinism(),
+        "analysis": {
+            "sanitizer": bench_sanitizer(),
+            "lint": bench_lint(),
+        },
     }
     return report
 
@@ -340,6 +433,19 @@ def check_smoke(report):
     assert training["auto_max_rel_dev"] < 1e-2, (
         "auto-backend training must stay tolerance-bounded vs reference: "
         f"rel dev {training['auto_max_rel_dev']:.2e}"
+    )
+    analysis = report["analysis"]
+    assert analysis["sanitizer"]["disabled_overhead"] < 0.05, (
+        "sanitizer instrumentation must be free when off (<5% on the raw "
+        f"pool loop): {analysis['sanitizer']['disabled_overhead']:.1%}"
+    )
+    assert analysis["sanitizer"]["enabled_poison_fills"] > 0, (
+        "the enabled sanitizer run must actually poison released buffers"
+    )
+    assert analysis["lint"]["errors"] == 0, (
+        "the tree must lint clean: "
+        f"{analysis['lint']['errors']} errors in rules "
+        f"{analysis['lint']['rules_violated']}"
     )
 
 

@@ -22,7 +22,10 @@ Package layout:
 * :mod:`repro.experiments` — per-table/figure runners;
 * :mod:`repro.training` — training subsystem (resumable loops,
   bit-for-bit checkpoint/resume; parallel ensemble training lives in
-  :mod:`repro.core.ensemble`).
+  :mod:`repro.core.ensemble`);
+* :mod:`repro.analysis` — invariant enforcement: the ``repro lint`` AST
+  rules (CI-blocking), the ``REPRO_NN_SANITIZE=1`` runtime sanitizer, and
+  the ``REPRO_*`` env-var registry (``docs/analysis.md``).
 
 Quickstart — every model trains and serves through the same five verbs
 (``fit`` / ``detect`` / ``localize`` / ``save`` / ``load``)::
@@ -45,9 +48,21 @@ Quickstart — every model trains and serves through the same five verbs
 
 __version__ = "1.0.0"
 
-from . import api, baselines, core, data, metrics, nn, serving, simdata, training
+from . import (
+    analysis,
+    api,
+    baselines,
+    core,
+    data,
+    metrics,
+    nn,
+    serving,
+    simdata,
+    training,
+)
 
 __all__ = [
+    "analysis",
     "nn",
     "simdata",
     "data",

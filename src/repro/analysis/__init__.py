@@ -1,0 +1,36 @@
+"""Static and runtime enforcement of the repo's performance/determinism
+invariants.
+
+Three pieces, one contract:
+
+* :mod:`repro.analysis.lint` — AST linter (``repro lint src benchmarks``
+  is a blocking CI gate): hot-path allocation ban, determinism rules,
+  env-var registry checks, backend kernel-contract parity, counter
+  discipline.  Violations are silenced only by an inline
+  ``# repro: waive[RULE] justification`` comment.
+* :mod:`repro.analysis.sanitize` — runtime sanitizer
+  (``REPRO_NN_SANITIZE=1``): buffer-pool poison-fill + generation tags,
+  trace-time plan slot lifetime checks, read-only meter-store views.
+  Free when off (a single ``is None`` branch in the instrumented paths).
+* :mod:`repro.analysis.envvars` — the registry every ``REPRO_*``
+  environment variable must appear in, cross-checked against ``docs/``.
+
+See ``docs/analysis.md`` for the rule catalog and sanitizer semantics.
+"""
+
+from __future__ import annotations
+
+from . import envvars, sanitize
+from .lint import LintReport, Violation, run_lint
+from .markers import hot_path
+from .sanitize import PlanSanitizeError
+
+__all__ = [
+    "LintReport",
+    "PlanSanitizeError",
+    "Violation",
+    "envvars",
+    "hot_path",
+    "run_lint",
+    "sanitize",
+]

@@ -1,0 +1,138 @@
+"""Central registry of every ``REPRO_*`` environment variable.
+
+The escape hatches and CI toggles of this codebase are environment
+variables (``REPRO_NN_PLAN=off``, ``REPRO_SMOKE=1``, ...).  Before this
+registry they were documented — if at all — inside the docstring of
+whichever module happened to read them, so a contributor had no single
+place to learn what knobs exist, and nothing stopped a new ``os.environ``
+read from shipping undocumented.
+
+Two lint rules (:mod:`repro.analysis.lint`) close that loop:
+
+* ``ENV001`` — every ``REPRO_*`` string literal in ``src/`` and
+  ``benchmarks/`` must name an entry registered here;
+* ``ENV002`` — every entry registered here must be referenced in at least
+  one page under ``docs/`` (the user-facing table lives in
+  ``docs/config.md``).
+
+Registering a variable therefore *is* the act of declaring it public, and
+forgetting either half (registry or docs) blocks CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+
+@dataclass(frozen=True)
+class EnvVar:
+    """One registered environment variable."""
+
+    name: str
+    #: The value space, human-readable (e.g. ``"off|0|false|no"``).
+    values: str
+    #: What reads it and what it changes — one sentence.
+    description: str
+    #: Dotted module that owns the read (where the behaviour lives).
+    owner: str
+
+
+_ENTRIES = (
+    EnvVar(
+        name="REPRO_NN_BACKEND",
+        values="reference|im2col|fft|auto",
+        description=(
+            "Process-wide default conv1d kernel; `reference` reproduces the "
+            "pre-backend float32 bits, `auto` enables first-call timing."
+        ),
+        owner="repro.nn.backend",
+    ),
+    EnvVar(
+        name="REPRO_NN_AUTOTUNE",
+        values="off|0|false|no (default: on)",
+        description=(
+            "Escape hatch disabling the autotuner's first-call timing pass; "
+            "`auto` mode then serves the default kernel untimed."
+        ),
+        owner="repro.nn.backend.autotune",
+    ),
+    EnvVar(
+        name="REPRO_NN_AUTOTUNE_CACHE",
+        values="path to a JSON file",
+        description=(
+            "Persisted autotune table: loaded at first use, rewritten "
+            "whenever a new conv signature is tuned."
+        ),
+        owner="repro.nn.backend.autotune",
+    ),
+    EnvVar(
+        name="REPRO_NN_PLAN",
+        values="off|0|false|no (default: on)",
+        description=(
+            "Escape hatch disabling traced eval plans; every ensemble "
+            "forward takes the untraced per-member loop."
+        ),
+        owner="repro.nn.plan",
+    ),
+    EnvVar(
+        name="REPRO_NN_FUSE",
+        values="off|0|false (default: on)",
+        description=(
+            "Escape hatch staging conv, folded-BN shift and ReLU as "
+            "separate eval passes instead of one fused backend call."
+        ),
+        owner="repro.core.resnet",
+    ),
+    EnvVar(
+        name="REPRO_NN_SANITIZE",
+        values="1|true|on|yes (default: off)",
+        description=(
+            "Runtime sanitizer: buffer-pool generation tags + poison-fill "
+            "on release, trace-time plan slot checks, and read-only "
+            "meter-store views (see docs/analysis.md)."
+        ),
+        owner="repro.analysis.sanitize",
+    ),
+    EnvVar(
+        name="REPRO_SMOKE",
+        values="1 (default: off)",
+        description=(
+            "Shrinks every example script to CI scale (same code paths, "
+            "seconds of wall time)."
+        ),
+        owner="examples/*",
+    ),
+    EnvVar(
+        name="REPRO_BENCH_SMOKE",
+        values="1 (default: off)",
+        description=(
+            "Shrinks benchmark configurations to CI scale, equivalent to "
+            "passing `--smoke` on the command line."
+        ),
+        owner="benchmarks/*",
+    ),
+)
+
+#: name -> :class:`EnvVar`, in declaration order.
+ENV_VARS: Dict[str, EnvVar] = {entry.name: entry for entry in _ENTRIES}
+
+
+def registered() -> FrozenSet[str]:
+    """The set of registered variable names (lint rule ``ENV001``)."""
+    return frozenset(ENV_VARS)
+
+
+def get(name: str) -> EnvVar:
+    """Look up one registered variable; raises ``KeyError`` if unknown."""
+    return ENV_VARS[name]
+
+
+def render_table() -> str:
+    """Plain-text table of every registered variable (``repro lint --envvars``)."""
+    width = max(len(name) for name in ENV_VARS)
+    lines = []
+    for entry in ENV_VARS.values():
+        lines.append(f"{entry.name:<{width}}  [{entry.values}]")
+        lines.append(f"{'':<{width}}  {entry.description} ({entry.owner})")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Zero-cost source markers read by the lint engine.
+
+Kept in a leaf module with no intra-package imports so the hot modules
+(``repro.nn.backend``, ``repro.nn.plan``) can import it without pulling the
+lint engine — or anything else — into their import graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+__all__ = ["hot_path"]
+
+
+def hot_path(fn: F) -> F:
+    """Mark ``fn`` as serving-hot: the lint engine bans allocations inside.
+
+    The decorator itself does nothing at runtime (one attribute write at
+    import time); :mod:`repro.analysis.lint` rule ``HOT001`` recognizes the
+    marker syntactically, so any function — in any module — can opt into
+    the hot-path allocation ban that the backend/plan/grouped modules get
+    by location.  See ``docs/analysis.md``.
+    """
+    fn.__repro_hot_path__ = True
+    return fn

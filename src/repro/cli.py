@@ -671,8 +671,56 @@ def run_train(args: argparse.Namespace) -> str:
     return _run_train_estimator(name, scale, args, case, preset)
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro lint`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Check the invariant rules (hot-path allocation ban, "
+        "determinism, env-var registry, backend contract, counter "
+        "discipline) over the given files/directories.  Exits non-zero on "
+        "any error-severity violation; see docs/analysis.md.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks"],
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root anchoring docs/tests cross-checks (default: cwd)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list waived violations",
+    )
+    parser.add_argument(
+        "--envvars",
+        action="store_true",
+        help="print the registered REPRO_* environment variable table and exit",
+    )
+    return parser
+
+
+def run_lint_cli(args: argparse.Namespace) -> int:
+    """Run ``repro lint`` and return the process exit code."""
+    from .analysis import envvars as envvars_mod
+    from .analysis.lint import run_lint
+
+    if args.envvars:
+        print(envvars_mod.render_table())
+        return 0
+    report = run_lint(args.paths or ["src", "benchmarks"], root=args.root)
+    print(report.format(verbose=args.verbose))
+    return 1 if report.errors else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        return run_lint_cli(build_lint_parser().parse_args(argv[1:]))
     if argv and argv[0] == "train":
         print(run_train(build_train_parser().parse_args(argv[1:])))
         return 0

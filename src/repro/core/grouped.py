@@ -76,6 +76,7 @@ def _group_kernel_name(
     mode = nn.backend.get_backend()
     if mode != "auto":
         return mode
+    # repro: waive[HOT001] compile-time autotune probe, never a replay allocation
     x_tmp = np.zeros((n, c_in, l_pad), dtype=DTYPE)
     return nn.backend.resolve_conv(x_tmp, weight, stride).NAME
 
@@ -176,7 +177,11 @@ def _emit_conv_group(
         for gi, (conv, norm) in enumerate(group):
             w_m = zbuf((c_out, c_in, kernel))
             s_m = zbuf((c_out,))
-            builder.emit(_make_fold_step(conv, norm, w_m.reshape(c_out, -1), s_m))
+            builder.emit(
+                _make_fold_step(conv, norm, w_m.reshape(c_out, -1), s_m),
+                label=f"fold[m{g0 + gi}]",
+                writes=(w_m, s_m),
+            )
             src_m = x_src[0] if shared else x_src[g0 + gi]
             out_m = act_out[g0 + gi]
 
@@ -186,7 +191,12 @@ def _emit_conv_group(
                 )
                 np.copyto(o, res.swapaxes(0, 1))
 
-            builder.emit(conv_step)
+            builder.emit(
+                conv_step,
+                label=f"conv[m{g0 + gi}:{kern_name}]",
+                reads=(src_m, w_m, s_m),
+                writes=(out_m,),
+            )
             builder.release(w_m)
             builder.release(s_m)
         return
@@ -196,7 +206,11 @@ def _emit_conv_group(
     w_stack = zbuf((gm, c_out, c_in * kernel))
     shift_stack = zbuf((gm, c_out))
     for gi, (conv, norm) in enumerate(group):
-        builder.emit(_make_fold_step(conv, norm, w_stack[gi], shift_stack[gi]))
+        builder.emit(
+            _make_fold_step(conv, norm, w_stack[gi], shift_stack[gi]),
+            label=f"fold[m{g0 + gi}]",
+            writes=(w_stack[gi], shift_stack[gi]),
+        )
 
     l_out = (l_pad - kernel) // stride + 1
     if kernel == 1 and pad == 0:
@@ -227,7 +241,12 @@ def _emit_conv_group(
                     src[..., a + i0 * st : a + (i1 - 1) * st + 1 : st],
                 )
 
-        builder.emit(fill_step)
+        builder.emit(
+            fill_step,
+            label=f"im2col[m{g0}:{g1}]",
+            reads=(src_view,),
+            writes=(cols,),
+        )
 
     out_view = act_out[g0:g1].reshape(gm, c_out, n * l_out)
 
@@ -239,7 +258,12 @@ def _emit_conv_group(
         if r:
             np.maximum(o, 0.0, out=o)
 
-    builder.emit(gemm_step)
+    builder.emit(
+        gemm_step,
+        label=f"gemm[m{g0}:{g1}]",
+        reads=(cols, w_stack, shift_stack),
+        writes=(out_view,),
+    )
     builder.release(w_stack)
     builder.release(shift_stack)
     if kernel != 1 or pad > 0:
@@ -295,7 +319,12 @@ def _emit_unit(
         np.add(a, r, out=o)
         np.maximum(o, 0.0, out=o)
 
-    builder.emit(add_relu_step)
+    builder.emit(
+        add_relu_step,
+        label="add_relu",
+        reads=(act_c, residual),
+        writes=(act_out,),
+    )
     builder.release(act_c)
     if shortcut is not None:
         builder.release(shortcut)
@@ -327,6 +356,7 @@ def _check_supported(models: Sequence[object], length: int) -> None:
         for unit in units:
             convs = [unit.block1.conv, unit.block2.conv, unit.block3.conv]
             if unit.shortcut is not None:
+                # repro: waive[HOT002] trace-time structure validation, not replay code
                 convs.append(unit.shortcut)
             for conv in convs:
                 if conv.stride != 1:
@@ -402,7 +432,7 @@ def compile_ensemble_plan(
         np.sum(f, axis=3, out=p)
         np.multiply(p, inv, out=p)
 
-    builder.emit(gap_step)
+    builder.emit(gap_step, label="gap", reads=(feats,), writes=(pooled,))
 
     # Head weights re-read from the live modules each replay (tiny copies).
     w_head = zbuf((m, n_classes, c3))
@@ -416,14 +446,19 @@ def compile_ensemble_plan(
             else:
                 b[mi].fill(0.0)
 
-    builder.emit(head_load_step)
+    builder.emit(head_load_step, label="head_load", writes=(w_head, b_head))
     logits = zbuf((m, n_classes, n))
 
     def head_step(p=pooled, w=w_head, b=b_head, o=logits):
         np.matmul(w, p, out=o)
         o += b[:, :, None]
 
-    builder.emit(head_step)
+    builder.emit(
+        head_step,
+        label="head",
+        reads=(pooled, w_head, b_head),
+        writes=(logits,),
+    )
     builder.release(pooled)
     builder.release(w_head)
     builder.release(b_head)
@@ -439,20 +474,32 @@ def compile_ensemble_plan(
         np.sum(sf, axis=1, keepdims=True, out=sm)
         sf /= sm
 
-    builder.emit(softmax_step)
+    builder.emit(
+        softmax_step,
+        label="softmax",
+        reads=(logits,),
+        writes=(lmax, soft, ssum),
+    )
     builder.release(logits)
     builder.release(lmax)
     builder.release(ssum)
 
     out_proba = builder.buffer((n,))
-    builder.emit(lambda o=out_proba: o.fill(0.0))
+    builder.emit(
+        lambda o=out_proba: o.fill(0.0), label="zero:proba", writes=(out_proba,)
+    )
     tmp_n = zbuf((n,))
     for orig in range(m):  # accumulate in original member order (bit parity)
         def acc_proba(sf=soft, p=pos_of[orig], t=tmp_n, o=out_proba, inv=inv_members):
             np.multiply(sf[p, 1, :], inv, out=t)
             np.add(o, t, out=o)
 
-        builder.emit(acc_proba)
+        builder.emit(
+            acc_proba,
+            label=f"acc_proba[m{orig}]",
+            reads=(soft, out_proba),
+            writes=(tmp_n, out_proba),
+        )
     builder.release(soft)
     builder.release(tmp_n)
     outputs = {"proba": out_proba}
@@ -464,14 +511,19 @@ def compile_ensemble_plan(
             for mi, model in enumerate(ms):
                 np.copyto(w[mi, 0], model.head.weight.data[ci])
 
-        builder.emit(cam_w_step)
+        builder.emit(cam_w_step, label="cam_w", writes=(cam_w,))
         cam_raw = zbuf((m, 1, n * length))
         feats_flat = feats.reshape(m, c3, n * length)
 
         def cam_step(w=cam_w, f=feats_flat, o=cam_raw):
             np.matmul(w, f, out=o)  # one (1,C3)@(C3,N*L) GEMM per member
 
-        builder.emit(cam_step)
+        builder.emit(
+            cam_step,
+            label="cam_gemm",
+            reads=(cam_w, feats_flat),
+            writes=(cam_raw,),
+        )
         builder.release(cam_w)
 
         cam = cam_raw.reshape(m, n, length)
@@ -488,19 +540,31 @@ def compile_ensemble_plan(
             c /= mx
             np.copyto(c, 0.0, where=np_)
 
-        builder.emit(norm_step)
+        builder.emit(
+            norm_step,
+            label="cam_norm",
+            reads=(cam_raw,),
+            writes=(cam_raw, maxima, notpos),
+        )
         builder.release(maxima)
         builder.release(notpos)
 
         out_cam = builder.buffer((n, length))
-        builder.emit(lambda o=out_cam: o.fill(0.0))
+        builder.emit(
+            lambda o=out_cam: o.fill(0.0), label="zero:cam", writes=(out_cam,)
+        )
         tmp_l = zbuf((n, length))
         for orig in range(m):
             def acc_cam(c=cam, p=pos_of[orig], t=tmp_l, o=out_cam, inv=inv_members):
                 np.multiply(c[p], inv, out=t)
                 np.add(o, t, out=o)
 
-            builder.emit(acc_cam)
+            builder.emit(
+                acc_cam,
+                label=f"acc_cam[m{orig}]",
+                reads=(cam_raw, out_cam),
+                writes=(tmp_l, out_cam),
+            )
         builder.release(tmp_l)
         builder.release(cam_raw)
         outputs["cam"] = out_cam

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import nn
+from ..analysis import hot_path
 from ..nn.tensor import Tensor, is_grad_enabled
 
 #: Kernel sizes k_p used by the CamAL ensemble (paper §IV-A1).
@@ -67,6 +68,7 @@ class ConvBlock(nn.Module):
             return self._forward_folded(x)
         return self.norm(self.conv(x)).relu()
 
+    @hot_path
     def _forward_folded(self, x: Tensor) -> Tensor:
         norm, conv = self.norm, self.conv
         inv_std = 1.0 / np.sqrt(norm.running_var + norm.eps)

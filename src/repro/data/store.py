@@ -46,6 +46,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis import sanitize
+
 #: On-disk manifest schema version.
 STORE_FORMAT_VERSION = 1
 
@@ -306,7 +308,7 @@ class MeterStore:
                 f"({meta.n_samples} samples)"
             )
         if start == stop:
-            return np.zeros(0, dtype=np.float32)
+            return sanitize.freeze(np.zeros(0, dtype=np.float32))
         length = self.shard_length
         first, last = start // length, (stop - 1) // length
         if first == last:
@@ -316,7 +318,10 @@ class MeterStore:
             lo = max(start, k * length) - k * length
             hi = min(stop, (k + 1) * length) - k * length
             pieces.append(self.shard(house_id, k)[row, lo:hi])
-        return np.concatenate(pieces)
+        # In-shard views above are read-only already (mode="r" memmaps);
+        # freezing the concatenated copy extends the same no-write
+        # guarantee to shard-straddling reads under REPRO_NN_SANITIZE=1.
+        return sanitize.freeze(np.concatenate(pieces))
 
     def read_mask(
         self, house_id: str, start: int = 0, stop: Optional[int] = None
@@ -324,7 +329,9 @@ class MeterStore:
         """Validity mask over ``[start, stop)`` as a boolean array."""
         meta = self.house_meta(house_id)
         stop = meta.n_samples if stop is None else stop
-        return self._read_row(house_id, meta.mask_row, start, stop) > 0.0
+        return sanitize.freeze(
+            self._read_row(house_id, meta.mask_row, start, stop) > 0.0
+        )
 
     def read_channel(
         self,
@@ -353,8 +360,8 @@ class MeterStore:
         if mask.all():
             return values
         values = np.array(values, dtype=np.float32)
-        values[~mask] = np.nan
-        return values
+        values[~mask] = np.nan  # written before the view is frozen
+        return sanitize.freeze(values)
 
     def aggregate(self, house_id: str, nan_gaps: bool = True) -> np.ndarray:
         """The household's full aggregate series (gaps as NaN by default)."""

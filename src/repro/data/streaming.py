@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis import sanitize
 from ..nn.data import Dataset
 from ..simdata.appliances import get_spec
 from ..simdata.preprocessing import (
@@ -138,7 +139,7 @@ class StreamingWindows(Dataset):
             return self.store.read_channel(
                 house_id, self.appliance, start, start + self.window
             )
-        return np.zeros(self.window, dtype=np.float32)
+        return sanitize.freeze(np.zeros(self.window, dtype=np.float32))
 
     def window_house(self, index: int) -> str:
         """Which household window ``index`` comes from."""

@@ -41,6 +41,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ...analysis.markers import hot_path
 from . import counters, fft, im2col, reference
 from .autotune import (
     AUTOTUNE_ENV,
@@ -153,6 +154,7 @@ def resolve_conv(x_pad: np.ndarray, weight: np.ndarray, stride: int):
     return _KERNELS[_autotuner.choose(signature, x_pad, weight, stride)]
 
 
+@hot_path
 def pad_scratch(x: np.ndarray, padding: int) -> np.ndarray:
     """Zero-pad the last axis into a pool-aware scratch buffer.
 
@@ -171,6 +173,7 @@ def pad_scratch(x: np.ndarray, padding: int) -> np.ndarray:
     return x_pad
 
 
+@hot_path
 def conv1d_fused(
     x: np.ndarray,
     weight: np.ndarray,

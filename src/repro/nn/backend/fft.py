@@ -120,6 +120,7 @@ def _dilate(grad: np.ndarray, stride: int) -> np.ndarray:
     if stride == 1:
         return grad
     n, c_out, l_out = grad.shape
+    # repro: waive[HOT001] backward-only helper — training path, never replayed
     dilated = np.zeros((n, c_out, (l_out - 1) * stride + 1), dtype=grad.dtype)
     dilated[:, :, ::stride] = grad
     return dilated

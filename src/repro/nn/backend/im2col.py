@@ -70,6 +70,7 @@ def forward(
     l_out = (l_pad - kernel) // stride + 1
     # Training keeps the columns alive in the graph, so they must not come
     # from the (recycling) pool; inference scratch may.
+    # repro: waive[HOT001] training-only branch (keep_ctx); the inference path takes `scratch`
     alloc = scratch if not keep_ctx else (lambda s, d=DTYPE: np.empty(s, d))
     cols4 = alloc((n, c_in, kernel, l_out), x_pad.dtype)
     _fill_cols(cols4, x_pad, stride)
@@ -125,6 +126,7 @@ def grad_input(ctx: Ctx, grad: np.ndarray) -> np.ndarray:
     w2 = ctx.weight.reshape(c_out, c_in * kernel)
     d_cols = np.matmul(w2.T, grad)  # (N, C_in*K, L_out)
     d4 = d_cols.reshape(n, c_in, kernel, l_out)
+    # repro: waive[HOT001] backward pass — training only, never on the serving path
     d_xp = np.zeros((n, c_in, ctx.l_pad), dtype=DTYPE)
     span = (l_out - 1) * ctx.stride + 1
     for j in range(kernel):  # adjoint of the forward copy loop

@@ -28,15 +28,27 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ...analysis import sanitize
+
 _Key = Tuple[Tuple[int, ...], str]
 
 
 class BufferPool:
-    """Shape-keyed arena of reusable NumPy buffers (single-threaded use)."""
+    """Shape-keyed arena of reusable NumPy buffers (single-threaded use).
+
+    Under ``REPRO_NN_SANITIZE=1`` (checked once, here at construction) the
+    pool carries a :class:`repro.analysis.sanitize.PoolTracker`: every
+    buffer recycled at :meth:`step` is poison-filled (NaN) and its
+    generation tag bumped, so a consumer that violates the copy-out
+    contract reads poison instead of a stale-but-plausible activation.
+    When the sanitizer is off ``_tracker`` is ``None`` and every hot
+    method pays exactly one ``is None`` branch.
+    """
 
     def __init__(self) -> None:
         self._free: Dict[_Key, List[np.ndarray]] = {}
         self._taken: List[Tuple[_Key, np.ndarray]] = []
+        self._tracker = sanitize.pool_tracker()
         self.fresh_allocations = 0
         self.reuses = 0
         self.bytes_allocated = 0
@@ -53,6 +65,8 @@ class BufferPool:
             self.fresh_allocations += 1
             self.bytes_allocated += arr.nbytes
         self._taken.append((key, arr))
+        if self._tracker is not None:
+            self._tracker.on_take(arr)
         return arr
 
     def take_persistent(self, shape, dtype=np.float32) -> np.ndarray:
@@ -77,9 +91,16 @@ class BufferPool:
 
     def step(self) -> None:
         """Recycle every buffer handed out since the previous step."""
+        if self._tracker is not None:
+            self._tracker.on_release([arr for _, arr in self._taken])
         for key, arr in self._taken:
             self._free.setdefault(key, []).append(arr)
         self._taken.clear()
+
+    @property
+    def tracker(self):
+        """The sanitizer tracker, or ``None`` when sanitizing is off."""
+        return self._tracker
 
     def clear(self) -> None:
         """Drop all pooled buffers (counters are kept)."""

@@ -76,6 +76,7 @@ def grad_input(ctx: Ctx, grad: np.ndarray) -> np.ndarray:
     n, c_out, l_out = grad.shape
     kernel = ctx.weight.shape[2]
     if ctx.stride > 1:
+        # repro: waive[HOT001] backward pass — training only, never on the serving path
         dilated = np.zeros((n, c_out, (l_out - 1) * ctx.stride + 1), dtype=DTYPE)
         dilated[:, :, :: ctx.stride] = grad
     else:

@@ -37,6 +37,8 @@ from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis import sanitize
+from ..analysis.markers import hot_path
 from .backend.pool import BufferPool
 
 __all__ = [
@@ -72,7 +74,7 @@ class ExecutionPlan:
     copy outputs *out* before the next replay — every slot is rewritten.
     """
 
-    __slots__ = ("signature", "steps", "inputs", "outputs", "replays")
+    __slots__ = ("signature", "steps", "inputs", "outputs", "labels", "replays")
 
     def __init__(
         self,
@@ -80,13 +82,20 @@ class ExecutionPlan:
         steps: List[Callable[[], None]],
         inputs: Dict[str, np.ndarray],
         outputs: Dict[str, np.ndarray],
+        labels: Optional[List[str]] = None,
     ):
         self.signature = signature
         self.steps: Tuple[Callable[[], None], ...] = tuple(steps)
         self.inputs = dict(inputs)
         self.outputs = dict(outputs)
+        #: Human-readable step names, parallel to ``steps`` (sanitizer
+        #: diagnostics and ``plan_stats`` introspection).
+        self.labels: Tuple[str, ...] = tuple(
+            labels if labels is not None else (f"step[{i}]" for i in range(len(steps)))
+        )
         self.replays = 0
 
+    @hot_path
     def run(self) -> None:
         """Replay the recorded calls — nothing else happens on this path."""
         for step in self.steps:
@@ -106,22 +115,39 @@ class PlanBuilder:
     been recorded.  The tracer knows every lifetime exactly — it is
     writing the schedule — so peak plan memory stays near the live set of
     the forward instead of one buffer per recorded value.
+
+    Under ``REPRO_NN_SANITIZE=1`` the builder carries a
+    :class:`repro.analysis.sanitize.PlanTracker`: slots get generation
+    tags, releases poison-fill the slot, and every :meth:`emit` may
+    declare the arrays the step ``reads``/``writes`` so use-after-release
+    and cross-slot aliasing are caught *at trace time* with the offending
+    step's label — before a single replay runs.
     """
 
     def __init__(self, pool: Optional[BufferPool] = None):
         self._pool = pool
         self._steps: List[Callable[[], None]] = []
+        self._labels: List[str] = []
         self._free: Dict[Tuple[Tuple[int, ...], str], List[np.ndarray]] = {}
+        self._tracker = sanitize.plan_tracker()
 
     def buffer(self, shape, dtype=np.float32) -> np.ndarray:
         """A plan-owned slot of ``shape``/``dtype`` (recycled when possible)."""
         key = (tuple(int(s) for s in shape), np.dtype(dtype).str)
         free = self._free.get(key)
         if free:
-            return free.pop()
+            arr = free.pop()
+            if self._tracker is not None:
+                self._tracker.on_buffer(arr, recycled=True)
+            return arr
         if self._pool is not None:
-            return self._pool.take_persistent(key[0], dtype)
-        return np.empty(key[0], dtype=dtype)
+            arr = self._pool.take_persistent(key[0], dtype)
+        else:
+            # repro: waive[HOT001] pool-less trace-time slot acquisition — this IS the allocator the ban steers hot code toward
+            arr = np.empty(key[0], dtype=dtype)
+        if self._tracker is not None:
+            self._tracker.on_buffer(arr, recycled=False)
+        return arr
 
     def release(self, arr: np.ndarray) -> None:
         """Mark a slot reusable for later :meth:`buffer` requests.
@@ -131,10 +157,31 @@ class PlanBuilder:
         """
         key = (tuple(arr.shape), arr.dtype.str)
         self._free.setdefault(key, []).append(arr)
+        if self._tracker is not None:
+            last = self._labels[-1] if self._labels else None
+            self._tracker.on_release(arr, at_step=last)
 
-    def emit(self, step: Callable[[], None]) -> None:
-        """Append one recorded backend call to the plan."""
+    def emit(
+        self,
+        step: Callable[[], None],
+        label: Optional[str] = None,
+        reads: Tuple[np.ndarray, ...] = (),
+        writes: Tuple[np.ndarray, ...] = (),
+    ) -> None:
+        """Append one recorded backend call to the plan.
+
+        ``label`` names the step in sanitizer diagnostics; ``reads`` and
+        ``writes`` declare the plan slots (or views into them) the closure
+        touches.  The declarations are advisory when the sanitizer is off
+        and checked immediately when it is on — a step reading a released
+        slot raises :class:`repro.analysis.sanitize.PlanSanitizeError`
+        naming ``label``.
+        """
+        name = label if label is not None else f"step[{len(self._steps)}]"
+        if self._tracker is not None:
+            self._tracker.on_emit(name, reads, writes)
         self._steps.append(step)
+        self._labels.append(name)
 
     def build(
         self,
@@ -142,7 +189,7 @@ class PlanBuilder:
         inputs: Dict[str, np.ndarray],
         outputs: Dict[str, np.ndarray],
     ) -> ExecutionPlan:
-        return ExecutionPlan(signature, self._steps, inputs, outputs)
+        return ExecutionPlan(signature, self._steps, inputs, outputs, self._labels)
 
 
 class PlanCache:

@@ -268,6 +268,9 @@ class TestInferenceMode:
         counts = backend.op_counts()
         assert counts["fused_conv_gemms"] == 23
         assert counts["fused_conv_gemms"] < 5 * 11  # vs one GEMM per member
+        # Every grouped GEMM is one fused-conv entry call, so the two
+        # counters move in lockstep on a pure im2col replay.
+        assert counts["fused_conv_calls"] == counts["fused_conv_gemms"]
 
     def test_plan_replay_zero_module_dispatch_and_pool_traffic(self):
         from repro.core import ResNetEnsemble
