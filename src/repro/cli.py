@@ -671,6 +671,191 @@ def run_train(args: argparse.Namespace) -> str:
     return _run_train_estimator(name, scale, args, case, preset)
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro serve`` subcommand."""
+    from .nn import backend as nn_backend
+    from .serving.protocol import DEFAULT_PORT
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the fleet-scale serving daemon: a warm model fleet "
+        "behind a newline-delimited-JSON TCP protocol with cross-request "
+        "micro-batch coalescing, backpressure and graceful SIGTERM drain "
+        "(see docs/serving.md).  Defaults honour REPRO_SERVE_* variables.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--fleet",
+        metavar="DIR",
+        help="fleet directory (save_pipelines layout: one saved estimator "
+        "per appliance sub-directory); also enables shard-parallel store jobs",
+    )
+    source.add_argument(
+        "--demo",
+        action="store_true",
+        help="serve seeded *untrained* tiny CamAL pipelines (kettle, "
+        "dishwasher) — protocol/benchmark smoke mode, not real predictions",
+    )
+    parser.add_argument("--host", default=None, help="bind address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=f"TCP port; 0 binds an ephemeral one (default: {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--window", type=int, default=128, help="serving window length (default: 128)"
+    )
+    parser.add_argument(
+        "--stride", type=int, default=None, help="window stride (default: window/2)"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=256, help="micro-batch size per forward"
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=0, help="LRU window-result cache entries"
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=sorted(nn_backend.available_backends()),
+        help="pin the conv backend (default: process default, im2col)",
+    )
+    parser.add_argument(
+        "--autotune-cache", default=None, help="JSON file persisting autotune choices"
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="coalescer flush threshold in windows (default: 256)",
+    )
+    parser.add_argument(
+        "--max-wait-us",
+        type=int,
+        default=None,
+        help="coalescer linger after the first queued request (default: 2000)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="bounded pending requests per appliance (default: 64)",
+    )
+    parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable cross-request micro-batch coalescing (A/B baseline)",
+    )
+    parser.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip the autotune/plan warm-up passes at startup "
+        "(engine warm-up and the daemon's batch-bucket pre-tracing)",
+    )
+    parser.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="PATH",
+        help="write a JSON line {host, port, pid} once listening (for "
+        "supervisors and the CI boot check)",
+    )
+    return parser
+
+
+def _demo_pipelines() -> Dict[str, object]:
+    """Seeded untrained tiny CamAL fleet for `repro serve --demo`."""
+    from .core import CamAL, ResNetConfig, ResNetEnsemble, ResNetTSC
+
+    fleet: Dict[str, object] = {}
+    for offset, appliance in enumerate(("kettle", "dishwasher")):
+        models = [
+            ResNetTSC(
+                ResNetConfig(kernel_size=k, filters=(8, 16, 16), seed=10 * offset + i)
+            )
+            for i, k in enumerate((5, 7, 9))
+        ]
+        for model in models:
+            model.eval()
+        fleet[appliance] = CamAL(ResNetEnsemble(models), detection_threshold=0.0)
+    return fleet
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Execute ``repro serve``: build the engine, bind, drain on SIGTERM."""
+    import json
+    import os
+    import signal
+
+    from .api.persistence import load_pipelines
+    from .serving import EngineConfig, InferenceEngine, ServeConfig, ServingDaemon
+
+    engine = InferenceEngine(
+        EngineConfig(
+            window=args.window,
+            stride=args.stride if args.stride is not None else max(1, args.window // 2),
+            batch_size=args.batch_size,
+            cache_size=args.cache_size,
+            backend=args.backend,
+            autotune_cache=args.autotune_cache,
+        )
+    )
+    if args.demo:
+        print("serving DEMO pipelines (untrained weights — smoke mode only)")
+        for appliance, pipeline in _demo_pipelines().items():
+            engine.register(appliance, pipeline)
+    else:
+        fleet = load_pipelines(args.fleet)
+        if not fleet:
+            raise SystemExit(f"no loadable estimator directories under {args.fleet!r}")
+        for appliance, estimator in fleet.items():
+            engine.register(appliance, estimator)
+    if not args.no_warm:
+        engine.warmup()
+
+    overrides: Dict[str, object] = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    if args.max_batch is not None:
+        overrides["max_batch_windows"] = args.max_batch
+    if args.max_wait_us is not None:
+        overrides["max_wait_us"] = args.max_wait_us
+    if args.queue_depth is not None:
+        overrides["queue_depth"] = args.queue_depth
+    if args.no_coalesce:
+        overrides["coalesce"] = False
+    if args.no_warm:
+        overrides["warm_start"] = False
+    config = ServeConfig.from_env(**overrides)
+
+    daemon = ServingDaemon(engine, config, fleet_dir=args.fleet)
+    host, port = daemon.start()
+    ready = {"host": host, "port": port, "pid": os.getpid()}
+    print(
+        f"repro serve: listening on {host}:{port} "
+        f"(appliances: {', '.join(engine.appliances)}; "
+        f"coalesce={'on' if config.coalesce else 'off'})",
+        flush=True,
+    )
+    if args.ready_file:
+        tmp = f"{args.ready_file}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(ready, fh)
+        os.replace(tmp, args.ready_file)
+
+    def _drain(signum, frame):  # noqa: ARG001 - signal handler signature
+        print(f"repro serve: caught signal {signum}, draining", flush=True)
+        daemon.shutdown(drain=True)
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    daemon.serve_forever()
+    print("repro serve: drained, bye", flush=True)
+    return 0
+
+
 def build_lint_parser() -> argparse.ArgumentParser:
     """Parser of the ``repro lint`` subcommand."""
     parser = argparse.ArgumentParser(
@@ -730,6 +915,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "models":
         print(run_models_listing())
         return 0
+    if argv and argv[0] == "serve":
+        return run_serve(build_serve_parser().parse_args(argv[1:]))
     args = build_parser().parse_args(argv)
     preset = ex.get_preset(args.preset)
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]

@@ -14,12 +14,23 @@ budget.  This package provides that layer:
   micro-batching and an optional LRU result cache, and returns stitched
   per-timestamp status covering 100 % of the input.  Its
   :meth:`~InferenceEngine.score_store` bulk path streams every household
-  of an ingested :class:`repro.data.MeterStore` in shard-sized chunks.
+  of an ingested :class:`repro.data.MeterStore` in shard-sized chunks;
+* :mod:`repro.serving.server` — :class:`ServingDaemon`: the long-lived
+  fleet-scale layer (``repro serve``).  Serves concurrent scoring
+  requests over a newline-delimited-JSON TCP protocol
+  (:mod:`repro.serving.protocol`) with cross-request micro-batch
+  coalescing, per-appliance admission control/backpressure, graceful
+  SIGTERM drain, shard-parallel bulk store jobs, and a metrics endpoint;
+* :mod:`repro.serving.client` — :class:`ServingClient`: the blocking
+  reference client (``score_series`` / ``submit_store_job`` /
+  ``metrics``).
 
-See ``docs/serving.md`` for the windowing/stitching semantics and
-``docs/data.md`` for the store-backed bulk path.
+See ``docs/serving.md`` for the windowing/stitching semantics, the
+daemon's protocol/metrics specification, and ``docs/data.md`` for the
+store-backed bulk path.
 """
 
+from .client import ScoreResult, ServerError, ServingClient
 from .engine import (
     ApplianceSeriesResult,
     ApplianceStoreScores,
@@ -28,6 +39,7 @@ from .engine import (
     HouseholdScores,
     InferenceEngine,
 )
+from .server import ServeConfig, ServingDaemon
 from .windowing import (
     SlidingWindowPlan,
     plan_windows,
@@ -48,4 +60,9 @@ __all__ = [
     "HouseholdInference",
     "ApplianceStoreScores",
     "HouseholdScores",
+    "ServeConfig",
+    "ServingDaemon",
+    "ServingClient",
+    "ScoreResult",
+    "ServerError",
 ]

@@ -1,0 +1,176 @@
+"""Blocking reference client of the serving daemon.
+
+Doubles as the protocol's reference implementation: everything it does
+is a one-frame request / one-frame response exchange over the
+newline-delimited-JSON protocol of :mod:`repro.serving.protocol`, so a
+client in any language only has to mirror this file.
+
+Typical use::
+
+    from repro.serving.client import ServingClient
+
+    with ServingClient("127.0.0.1", 7733) as client:
+        result = client.score_series("kettle", aggregate_watts)
+        print(result.status.mean(), client.metrics()["latency_ms"])
+
+Series ship base64-float32 by default (compact and bit-exact); responses
+mirror the request encoding, and :class:`ScoreResult` hands back float32
+arrays **bit-identical** to a local ``engine.run`` on the same series.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .protocol import (
+    FrameReader,
+    decode_series,
+    encode_frame,
+    encode_series,
+)
+
+__all__ = ["ServerError", "ScoreResult", "ServingClient"]
+
+
+class ServerError(RuntimeError):
+    """An ``ok: false`` response, surfaced with its code and retry hint."""
+
+    def __init__(self, code: str, message: str, retry_after_ms: Optional[int] = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.retry_after_ms = retry_after_ms
+
+
+@dataclass
+class ScoreResult:
+    """Decoded ``score`` response for one series."""
+
+    appliance: str
+    soft_status: np.ndarray  # (T,) stitched soft score, float32
+    status: np.ndarray  # (T,) stitched binary status, float32
+    n_windows: int
+    detection_rate: float
+    cache_hits: int
+    #: How many concurrent requests shared this request's fused forward
+    #: call (1 = no coalescing happened).
+    coalesced_requests: int
+    #: Total windows in that fused call.
+    coalesced_windows: int
+    #: Server-side latency (admission to response build), milliseconds.
+    server_ms: float
+
+
+class ServingClient:
+    """Blocking line-protocol client; one in-flight request at a time."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7733,
+        timeout: float = 120.0,
+        compact: bool = True,
+    ):
+        self.compact = compact
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = FrameReader()
+        self._next_id = 0
+
+    # -- plumbing ---------------------------------------------------------
+    def _call(self, request: Dict[str, object]) -> Dict[str, object]:
+        """One request/response round trip; raises :class:`ServerError`."""
+        self._next_id += 1
+        request = dict(request, id=self._next_id)
+        self._sock.sendall(encode_frame(request))
+        response = self._read_frame()
+        if response.get("ok"):
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        error = response.get("error") or {}
+        raise ServerError(
+            str(error.get("code", "unknown")),
+            str(error.get("message", "")),
+            error.get("retry_after_ms"),
+        )
+
+    def _read_frame(self) -> Dict[str, object]:
+        while True:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection mid-response")
+            for frame in self._reader.feed(chunk):
+                return frame
+
+    # -- protocol verbs ---------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def score_series(self, appliance: str, series: np.ndarray) -> ScoreResult:
+        """Score one raw (Watt) aggregate series for one appliance."""
+        series = np.ascontiguousarray(series, dtype=np.float32)
+        payload: Dict[str, object] = {
+            "op": "score",
+            "appliance": appliance,
+            "series": (
+                encode_series(series) if self.compact else [float(v) for v in series]
+            ),
+        }
+        result = self._call(payload)
+        return ScoreResult(
+            appliance=str(result["appliance"]),
+            soft_status=decode_series(result["soft_status"]),
+            status=decode_series(result["status"]),
+            n_windows=int(result["n_windows"]),
+            detection_rate=float(result["detection_rate"]),
+            cache_hits=int(result.get("cache_hits", 0)),
+            coalesced_requests=int(result.get("coalesced_requests", 1)),
+            coalesced_windows=int(result.get("coalesced_windows", 0)),
+            server_ms=float(result.get("server_ms", 0.0)),
+        )
+
+    def submit_store_job(
+        self,
+        store: str,
+        appliances: Optional[List[str]] = None,
+        house_ids: Optional[List[str]] = None,
+        workers: int = 1,
+    ) -> Dict[str, object]:
+        """Bulk-score a meter store on the daemon; returns the job summary.
+
+        The result holds one compact row per household (counts, ON
+        fraction and a blake2b digest of the status bytes — see
+        ``docs/serving.md``), plus ``workers`` actually used and the job
+        wall time.  ``workers > 1`` fans household shards over a process
+        pool when the daemon was started with a fleet directory.
+        """
+        request: Dict[str, object] = {"op": "store", "store": store, "workers": workers}
+        if appliances is not None:
+            request["appliances"] = list(appliances)
+        if house_ids is not None:
+            request["house_ids"] = list(house_ids)
+        return self._call(request)
+
+    def metrics(self) -> Dict[str, object]:
+        """The daemon's metrics snapshot (see ``docs/serving.md`` schema)."""
+        return self._call({"op": "metrics"})
+
+    def shutdown_server(self) -> bool:
+        """Ask the daemon to drain and exit (when it allows remote shutdown)."""
+        return bool(self._call({"op": "shutdown"}).get("draining"))
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -25,12 +25,26 @@ workload shape for deployment:
   chunks through the same pipelines and stitcher, so scoring a long
   recording never materializes its full window batch — peak memory is
   bounded by the chunk (≈ one shard), not the series.
+
+**Thread safety.**  The engine may be driven from many threads at once
+(the serving daemon's connection handlers and per-appliance coalescers
+do exactly that).  Scoring is serialized behind one engine-wide lock:
+the fused CamAL path runs through per-ensemble ``BufferPool`` arenas and
+traced plans that are inherently single-writer, and the LRU result cache
+is one ``OrderedDict`` shared across appliances.  Windowing and
+stitching (:meth:`InferenceEngine.window_series` /
+:meth:`InferenceEngine.stitch_result`) touch only request-local arrays
+and run lock-free, so concurrent callers overlap everything except the
+forward pass itself.  Concurrent :meth:`InferenceEngine.run` calls are
+bit-identical to serial ones (regression-tested from 8 threads in
+``tests/test_serving.py``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
@@ -221,6 +235,10 @@ class InferenceEngine:
         self.config = config
         self.pipelines: Dict[str, object] = {}
         self._cache: "OrderedDict[Tuple[str, bytes], _CacheRow]" = OrderedDict()
+        #: Serializes every forward pass plus the LRU-cache and
+        #: autotune-save bookkeeping around it.  Reentrant so ``run`` /
+        #: ``warmup`` may compose the locked primitives freely.
+        self._lock = threading.RLock()
         if config.autotune_cache and os.path.exists(config.autotune_cache):
             nn.backend.load_autotune_cache(config.autotune_cache)
 
@@ -244,10 +262,11 @@ class InferenceEngine:
             pipeline.eval()
         elif hasattr(pipeline, "ensemble"):
             pipeline.ensemble.eval()
-        if appliance in self.pipelines:
-            for key in [k for k in self._cache if k[0] == appliance]:
-                del self._cache[key]
-        self.pipelines[appliance] = pipeline
+        with self._lock:
+            if appliance in self.pipelines:
+                for key in [k for k in self._cache if k[0] == appliance]:
+                    del self._cache[key]
+            self.pipelines[appliance] = pipeline
         return self
 
     def load(
@@ -282,9 +301,10 @@ class InferenceEngine:
         """
         names = list(self.pipelines) if appliance is None else [appliance]
         windows = np.zeros((self.config.batch_size, self.config.window), np.float32)
-        for name in names:
-            self._localize(self.pipelines[name], windows)
-        self._save_autotune_cache()
+        with self._lock:
+            for name in names:
+                self._localize(self.pipelines[name], windows)
+            self._save_autotune_cache()
         return self
 
     @property
@@ -294,10 +314,12 @@ class InferenceEngine:
     # -- cache ------------------------------------------------------------
     @property
     def cache_entries(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     @staticmethod
     def _window_key(appliance: str, window: np.ndarray) -> Tuple[str, bytes]:
@@ -310,6 +332,86 @@ class InferenceEngine:
             self._cache.popitem(last=False)
 
     # -- inference --------------------------------------------------------
+    def window_series(
+        self, aggregate_watts: np.ndarray
+    ) -> Tuple[np.ndarray, SlidingWindowPlan, np.ndarray]:
+        """Validate, scale and window a raw aggregate series **once**.
+
+        Returns ``(aggregate, plan, windows)`` where ``aggregate`` is the
+        float32 Watt series, ``plan`` the sliding-window layout and
+        ``windows`` the contiguous ``(n_windows, window)`` scaled batch
+        every pipeline shares.  Touches only request-local arrays, so
+        concurrent callers (the serving daemon's connection handlers)
+        need no lock.
+        """
+        aggregate_watts = np.asarray(aggregate_watts, dtype=np.float32)
+        if aggregate_watts.ndim != 1:
+            raise ValueError("InferenceEngine.run expects a 1-D aggregate series")
+        if np.isnan(aggregate_watts).any():
+            raise ValueError("aggregate contains NaNs; forward-fill it first")
+        plan = plan_windows(
+            len(aggregate_watts), self.config.window, self.config.stride
+        )
+        windows = np.ascontiguousarray(
+            slice_windows(aggregate_watts / SCALE_DIVISOR, plan)
+        )
+        return aggregate_watts, plan, windows
+
+    def localize_windows(
+        self, appliance: str, windows: np.ndarray
+    ) -> Tuple[LocalizationOutput, int]:
+        """Score a scaled window batch with one registered pipeline.
+
+        The thread-safe scoring primitive: consults/updates the LRU
+        result cache, runs the forward pass under the engine's backend,
+        and persists newly tuned autotune entries — all behind the engine
+        lock, because the fused path's buffer pools and traced plans are
+        single-writer and the cache is shared across appliances.  Returns
+        ``(LocalizationOutput, cache_hits)``.
+
+        This is also the serving daemon's coalescing point: windows
+        stacked from many concurrent requests score in one call, and the
+        im2col/grouped-plan backend's bit-level batch-size invariance
+        makes the stacked rows identical to per-request calls.
+        """
+        pipeline = self.pipelines.get(appliance)
+        if pipeline is None:
+            raise KeyError(f"no pipeline registered for appliance {appliance!r}")
+        with self._lock:
+            output, hits = self._localize_cached(appliance, pipeline, windows)
+            self._save_autotune_cache()
+        return output, hits
+
+    def stitch_result(
+        self,
+        appliance: str,
+        plan: SlidingWindowPlan,
+        output: LocalizationOutput,
+        aggregate_watts: np.ndarray,
+        cache_hits: int = 0,
+    ) -> ApplianceSeriesResult:
+        """Stitch per-window scores back onto the series for one appliance.
+
+        Overlap-mean stitch, threshold at the pipeline's (or config
+        override) level, then re-apply the appliance's power gate at
+        series level.  Lock-free: reads only immutable pipeline knobs.
+        """
+        pipeline = self.pipelines[appliance]
+        soft = stitch_mean(output.soft_status, plan)
+        status = (soft >= self._status_threshold(pipeline)).astype(np.float32)
+        gate = getattr(pipeline, "power_gate_watts", None)
+        if gate is not None:
+            # Re-apply the power gate on the *series* so stitching can
+            # never turn a below-threshold timestamp ON.
+            status *= (aggregate_watts >= gate).astype(np.float32)
+        return ApplianceSeriesResult(
+            appliance=appliance,
+            windows=output,
+            soft_status=soft,
+            status=status,
+            cache_hits=cache_hits,
+        )
+
     def run(
         self,
         aggregate_watts: np.ndarray,
@@ -325,43 +427,20 @@ class InferenceEngine:
             A :class:`HouseholdInference` whose per-appliance stitched
             ``status``/``soft_status`` cover every input timestamp.
         """
-        aggregate_watts = np.asarray(aggregate_watts, dtype=np.float32)
-        if aggregate_watts.ndim != 1:
-            raise ValueError("InferenceEngine.run expects a 1-D aggregate series")
-        if np.isnan(aggregate_watts).any():
-            raise ValueError("aggregate contains NaNs; forward-fill it first")
         names = list(self.pipelines) if appliances is None else list(appliances)
         for name in names:
             if name not in self.pipelines:
                 raise KeyError(f"no pipeline registered for appliance {name!r}")
 
-        plan = plan_windows(
-            len(aggregate_watts), self.config.window, self.config.stride
-        )
         # Scale once, window once; every appliance shares this batch.
-        windows = np.ascontiguousarray(
-            slice_windows(aggregate_watts / SCALE_DIVISOR, plan)
-        )
+        aggregate_watts, plan, windows = self.window_series(aggregate_watts)
 
         result = HouseholdInference(plan=plan)
         for name in names:
-            pipeline = self.pipelines[name]
-            output, hits = self._localize_cached(name, pipeline, windows)
-            soft = stitch_mean(output.soft_status, plan)
-            status = (soft >= self._status_threshold(pipeline)).astype(np.float32)
-            gate = getattr(pipeline, "power_gate_watts", None)
-            if gate is not None:
-                # Re-apply the power gate on the *series* so stitching can
-                # never turn a below-threshold timestamp ON.
-                status *= (aggregate_watts >= gate).astype(np.float32)
-            result.per_appliance[name] = ApplianceSeriesResult(
-                appliance=name,
-                windows=output,
-                soft_status=soft,
-                status=status,
-                cache_hits=hits,
+            output, hits = self.localize_windows(name, windows)
+            result.per_appliance[name] = self.stitch_result(
+                name, plan, output, aggregate_watts, cache_hits=hits
             )
-        self._save_autotune_cache()
         return result
 
     def _status_threshold(self, pipeline) -> float:
@@ -561,9 +640,7 @@ class InferenceEngine:
                 sliding_window_view(scaled, plan.window)[:: plan.stride]
             )
             for name in names:
-                output, chunk_hits = self._localize_cached(
-                    name, self.pipelines[name], windows
-                )
+                output, chunk_hits = self.localize_windows(name, windows)
                 stitchers[name].add(first, output.soft_status)
                 detected[name] += int(output.detected.sum())
                 hits[name] += chunk_hits
@@ -587,5 +664,4 @@ class InferenceEngine:
                 n_detected=detected[name],
                 cache_hits=hits[name],
             )
-        self._save_autotune_cache()
         return result

@@ -1,0 +1,865 @@
+"""`repro serve` — the fleet-scale serving daemon.
+
+Everything below this module is one-shot and one-process; this is the
+long-lived layer that makes the fast paths pay off under real traffic.
+A :class:`ServingDaemon` owns a warm :class:`~repro.serving.engine.
+InferenceEngine` (model fleet + autotune cache + traced plans) and
+serves concurrent scoring requests over the newline-delimited-JSON TCP
+protocol of :mod:`repro.serving.protocol`.
+
+Architecture — four kinds of threads:
+
+* **acceptor** — accepts TCP connections, one handler thread each
+  (thread-per-connection is the right shape here: the GIL is released
+  inside the BLAS calls doing the actual work, and fleet-bench scale is
+  tens of connections, not tens of thousands);
+* **connection handlers** — parse frames, validate, *window the series*
+  (request-local, lock-free), enqueue the window batch on the target
+  appliance's coalescer, and block until the result is ready;
+* **per-appliance coalescers** — the heart of the daemon.  Each drains
+  its bounded queue and stacks windows from many concurrent requests
+  into **one** fused forward call, flushing when ``max_batch_windows``
+  accumulate or ``max_wait_us`` elapse after the first request.  This is
+  provably safe: the im2col backend and the grouped ensemble plans are
+  bit-level batch-size invariant, so a request's rows in a stacked batch
+  are identical to the rows of a solo call (asserted end-to-end in
+  ``tests/test_serving_daemon.py``).  Under synchronous clients the
+  cadence is self-organizing — responses release a cohort of clients at
+  once, whose next requests arrive together and merge again;
+* **bulk jobs** — a ``store`` request fans a :meth:`InferenceEngine.
+  score_store` run over household shards in a ``spawn`` process pool
+  (each worker reloads the fleet from ``fleet_dir``), returning compact
+  per-household summaries instead of full series.
+
+**Backpressure**: every coalescer queue is bounded
+(``queue_depth``).  A request arriving at a full queue is rejected
+*before* any scoring work with an ``overloaded`` error carrying a
+``retry_after_ms`` hint (queue depth × recent mean service latency) —
+shedding load early keeps p99 of the admitted traffic flat.
+
+**Graceful drain**: ``SIGTERM`` (wired by the CLI) or a ``shutdown``
+request stops the acceptor, lets every queued request finish scoring,
+waits for in-flight responses to hit the wire, then closes.  Requests
+arriving mid-drain get a ``draining`` rejection with a retry hint; none
+are silently dropped.
+
+Configuration defaults come from ``REPRO_SERVE_*`` environment
+variables (see :meth:`ServeConfig.from_env` and ``docs/config.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from hashlib import blake2b
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.localization import LocalizationOutput
+from .engine import ApplianceSeriesResult, InferenceEngine
+from .metrics import ServerMetrics
+from .protocol import (
+    DEFAULT_PORT,
+    MAX_FRAME_BYTES,
+    FrameError,
+    FrameReader,
+    FrameTooLarge,
+    decode_series,
+    encode_frame,
+    encode_series,
+    error_response,
+    ok_response,
+)
+from .windowing import SlidingWindowPlan
+
+__all__ = ["ServeConfig", "ServingDaemon"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Daemon knobs: socket, coalescing flush policy, admission control."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT  # 0 binds an ephemeral port
+    #: Coalescer flush threshold: stop stacking once this many windows
+    #: are queued for one fused call (requests are never split, so one
+    #: oversized request forms its own batch).
+    max_batch_windows: int = 256
+    #: Coalescer linger: after the first request of a batch arrives, wait
+    #: at most this long for co-travellers before flushing.
+    max_wait_us: int = 2000
+    #: Bounded pending-request queue per appliance; arrivals beyond it
+    #: are fast-rejected with ``overloaded`` + ``retry_after_ms``.
+    queue_depth: int = 64
+    #: Master switch for cross-request micro-batch coalescing; off means
+    #: every request is its own forward call (the A/B the benchmark runs).
+    coalesce: bool = True
+    #: Zero-pad each stacked batch up to the next power of two before the
+    #: forward.  Traced eval plans are keyed on batch signature and pay a
+    #: trace on first sight; coalescing produces a different row count
+    #: per cohort, so without bucketing a daemon keeps re-tracing instead
+    #: of replaying.  Bit-exact: rows are independent through the whole
+    #: stack, and pad rows are sliced off before stitching.
+    bucket_batches: bool = True
+    #: Pre-trace the bucket ladder (1, 2, 4, ... up to
+    #: ``max_batch_windows``) for every appliance at :meth:`ServingDaemon.
+    #: start`, so no live request ever pays a first-trace stall.  Off is
+    #: mainly for tests with stub pipelines.
+    warm_start: bool = True
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    #: Handler-side cap on waiting for a coalescer result.
+    request_timeout_s: float = 60.0
+    #: How long a graceful shutdown waits for queued + in-flight work.
+    drain_timeout_s: float = 10.0
+    #: Whether a client ``shutdown`` request may drain the daemon (keep
+    #: on for CI and local fleets; front it with real auth before
+    #: exposing beyond localhost).
+    allow_shutdown: bool = True
+
+    def __post_init__(self):
+        if self.max_batch_windows <= 0:
+            raise ValueError(
+                f"max_batch_windows must be positive, got {self.max_batch_windows}"
+            )
+        if self.max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {self.max_wait_us}")
+        if self.queue_depth <= 0:
+            raise ValueError(f"queue_depth must be positive, got {self.queue_depth}")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServeConfig":
+        """Defaults from ``REPRO_SERVE_*`` variables, then ``overrides``.
+
+        Reads ``REPRO_SERVE_HOST``, ``REPRO_SERVE_PORT``,
+        ``REPRO_SERVE_MAX_BATCH`` (windows), ``REPRO_SERVE_MAX_WAIT_US``
+        and ``REPRO_SERVE_QUEUE_DEPTH``; explicit keyword arguments (the
+        CLI flags) win over the environment.
+        """
+        values: Dict[str, object] = {}
+        host = os.environ.get("REPRO_SERVE_HOST")
+        if host:
+            values["host"] = host
+        for key, env in (
+            ("port", "REPRO_SERVE_PORT"),
+            ("max_batch_windows", "REPRO_SERVE_MAX_BATCH"),
+            ("max_wait_us", "REPRO_SERVE_MAX_WAIT_US"),
+            ("queue_depth", "REPRO_SERVE_QUEUE_DEPTH"),
+        ):
+            raw = os.environ.get(env)
+            if raw:
+                try:
+                    values[key] = int(raw)
+                except ValueError as exc:
+                    raise ValueError(f"{env}={raw!r} is not an integer") from exc
+        values.update(overrides)
+        return cls(**values)
+
+
+class _PendingScore:
+    """One admitted ``score`` request, in flight between handler and coalescer."""
+
+    __slots__ = (
+        "appliance",
+        "aggregate",
+        "plan",
+        "windows",
+        "done",
+        "result",
+        "error",
+        "batch_requests",
+        "batch_windows",
+        "cache_hits",
+    )
+
+    def __init__(
+        self,
+        appliance: str,
+        aggregate: np.ndarray,
+        plan: SlidingWindowPlan,
+        windows: np.ndarray,
+    ):
+        self.appliance = appliance
+        self.aggregate = aggregate
+        self.plan = plan
+        self.windows = windows
+        self.done = threading.Event()
+        self.result: Optional[ApplianceSeriesResult] = None
+        self.error: Optional[Tuple[str, str]] = None
+        self.batch_requests = 1  # requests merged into this item's forward
+        self.batch_windows = windows.shape[0]
+        self.cache_hits = 0
+
+    def fail(self, code: str, message: str) -> None:
+        self.error = (code, message)
+        self.done.set()
+
+
+class _Coalescer(threading.Thread):
+    """One appliance's scoring loop: drain queue, stack, forward, split."""
+
+    def __init__(
+        self,
+        appliance: str,
+        engine: InferenceEngine,
+        config: ServeConfig,
+        metrics: ServerMetrics,
+    ):
+        super().__init__(name=f"coalescer-{appliance}", daemon=True)
+        self.appliance = appliance
+        self.engine = engine
+        self.config = config
+        self.metrics = metrics
+        self.queue: "queue.Queue[_PendingScore]" = queue.Queue(
+            maxsize=config.queue_depth
+        )
+        self._stop_requested = threading.Event()
+
+    def run(self) -> None:
+        max_wait_s = self.config.max_wait_us / 1e6
+        while True:
+            try:
+                item = self.queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stop_requested.is_set():
+                    return  # drained: stop was requested and the queue is dry
+                continue
+            batch = [item]
+            n_windows = item.windows.shape[0]
+            if self.config.coalesce:
+                deadline = time.perf_counter() + max_wait_s
+                while n_windows < self.config.max_batch_windows:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = self.queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                    batch.append(nxt)
+                    n_windows += nxt.windows.shape[0]
+            self._serve_batch(batch, n_windows)
+
+    def _serve_batch(self, batch: List[_PendingScore], n_windows: int) -> None:
+        if len(batch) == 1:
+            stacked = batch[0].windows
+        else:
+            stacked = np.concatenate([item.windows for item in batch], axis=0)
+        if self.config.bucket_batches:
+            bucket = 1 << (n_windows - 1).bit_length()  # next power of two
+            if bucket > n_windows:
+                stacked = np.concatenate(
+                    [
+                        stacked,
+                        np.zeros(
+                            (bucket - n_windows, stacked.shape[1]), dtype=np.float32
+                        ),
+                    ],
+                    axis=0,
+                )
+        try:
+            output, hits = self.engine.localize_windows(self.appliance, stacked)
+        except Exception as exc:  # noqa: BLE001 — every waiter must be answered
+            for item in batch:
+                item.fail("internal", f"{type(exc).__name__}: {exc}")
+            return
+        row = 0
+        for item in batch:
+            k = item.windows.shape[0]
+            # Row slices of the stacked output ARE the solo-call outputs:
+            # the backend is batch-size invariant, bit for bit.
+            sub = LocalizationOutput(
+                detection_proba=output.detection_proba[row : row + k],
+                detected=output.detected[row : row + k],
+                cam=output.cam[row : row + k],
+                soft_status=output.soft_status[row : row + k],
+                status=output.status[row : row + k],
+            )
+            row += k
+            try:
+                item.result = self.engine.stitch_result(
+                    item.appliance,
+                    item.plan,
+                    sub,
+                    item.aggregate,
+                    cache_hits=hits if len(batch) == 1 else 0,
+                )
+                item.cache_hits = hits if len(batch) == 1 else 0
+                item.batch_requests = len(batch)
+                item.batch_windows = n_windows
+                item.done.set()
+            except Exception as exc:  # noqa: BLE001
+                item.fail("internal", f"{type(exc).__name__}: {exc}")
+        self.metrics.record_batch(len(batch), n_windows)
+
+    # -- shutdown ---------------------------------------------------------
+    def stop(self) -> None:
+        """Ask the loop to exit once its queue is drained."""
+        self._stop_requested.set()
+
+    def flush_pending(self, code: str, message: str) -> int:
+        """Fail whatever is still queued (post-join stragglers); count them."""
+        failed = 0
+        while True:
+            try:
+                item = self.queue.get_nowait()
+            except queue.Empty:
+                return failed
+            item.fail(code, message)
+            failed += 1
+
+
+def _summarize_household(house_id: str, scores) -> Dict[str, object]:
+    """Compact JSON row for one scored household of a bulk store job.
+
+    Full per-timestamp series stay out of the response on purpose (a
+    portfolio job covers months × thousands of homes); the blake2b
+    digest of the status bytes lets callers verify equivalence against
+    an in-process :meth:`InferenceEngine.score_store` run exactly.
+    """
+    appliances = {}
+    for name, result in scores:
+        appliances[name] = {
+            "n_windows": int(result.n_windows),
+            "n_detected": int(result.n_detected),
+            "detection_rate": float(result.detection_rate),
+            "on_fraction": float(result.status.mean()),
+            "status_blake2b": blake2b(
+                result.status.tobytes(), digest_size=16
+            ).hexdigest(),
+        }
+    return {
+        "house_id": house_id,
+        "n_samples": int(scores.n_samples),
+        "appliances": appliances,
+    }
+
+
+def _score_store_shard(
+    fleet_dir: str,
+    engine_config: Dict[str, object],
+    store_path: str,
+    house_ids: List[str],
+    appliances: Optional[List[str]],
+) -> List[Dict[str, object]]:
+    """Worker-process entry of the bulk fan-out: score one household shard.
+
+    Runs in a ``spawn`` process pool, so it rebuilds its own engine from
+    the persisted fleet — the daemon's in-memory pipelines never cross
+    the process boundary.
+    """
+    from ..api.persistence import load_pipelines
+    from ..data.store import MeterStore
+    from .engine import EngineConfig
+
+    engine = InferenceEngine(EngineConfig(**engine_config))
+    for name, estimator in load_pipelines(fleet_dir).items():
+        engine.register(name, estimator)
+    store = MeterStore(store_path)
+    return [
+        _summarize_household(house_id, scores)
+        for house_id, scores in engine.score_store(store, house_ids, appliances)
+    ]
+
+
+class ServingDaemon:
+    """Long-lived TCP daemon serving a warm :class:`InferenceEngine`.
+
+    Typical use::
+
+        engine = InferenceEngine(EngineConfig(window=256, stride=128))
+        engine.load("kettle", "models/kettle", warm=True)
+        daemon = ServingDaemon(engine, ServeConfig(port=0))
+        host, port = daemon.start()
+        ...                       # clients connect (repro.serving.client)
+        daemon.shutdown()         # graceful drain
+
+    ``fleet_dir`` (the ``save_pipelines`` root the models were loaded
+    from) enables shard-parallel ``store`` jobs: worker processes reload
+    the fleet from disk.  Without it bulk jobs still run, in-process.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        config: Optional[ServeConfig] = None,
+        fleet_dir: Optional[str] = None,
+    ):
+        self.engine = engine
+        self.config = config or ServeConfig()
+        self.fleet_dir = fleet_dir
+        self.metrics = ServerMetrics()
+        self._sock: Optional[socket.socket] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._coalescers: Dict[str, _Coalescer] = {}
+        self._state_lock = threading.Lock()
+        self._connections: Dict[socket.socket, threading.Thread] = {}
+        self._acceptor: Optional[threading.Thread] = None
+        self._draining = False
+        self._closed = False
+        self._done = threading.Event()
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, spawn the acceptor; returns ``(host, port)``."""
+        if self._sock is not None:
+            raise RuntimeError("daemon already started")
+        if not self.engine.pipelines:
+            raise RuntimeError("refusing to serve an engine with no pipelines")
+        if self.config.warm_start and self.config.bucket_batches:
+            self._warm_buckets()
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.config.host, self.config.port))
+        sock.listen(128)
+        self._sock = sock
+        self.host, self.port = sock.getsockname()[:2]
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="serve-acceptor", daemon=True
+        )
+        self._acceptor.start()
+        return self.host, self.port
+
+    def _warm_buckets(self) -> None:
+        """Trace every bucket-sized plan signature before going live.
+
+        Tracing an eval plan costs orders of magnitude more than
+        replaying it; with bucketing the signature space is the small
+        power-of-two ladder, so paying all of it at startup keeps live
+        p99 flat from the very first request.
+        """
+        window = self.engine.config.window
+        top = 1 << (self.config.max_batch_windows - 1).bit_length()
+        bucket = 1
+        while bucket <= top:
+            windows = np.zeros((bucket, window), dtype=np.float32)
+            for appliance in list(self.engine.pipelines):
+                self.engine.localize_windows(appliance, windows)
+            bucket <<= 1
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes (SIGTERM-friendly wait)."""
+        while not self._done.wait(timeout=0.2):
+            pass
+
+    def __enter__(self) -> "ServingDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the daemon; with ``drain`` (default) finish queued work first.
+
+        Ordering matters: stop admissions (``draining`` flag + closed
+        listener) → let every coalescer empty its queue → wait for
+        handler threads to write the in-flight responses → only then tear
+        the sockets down.  No admitted request is ever silently dropped;
+        whatever a hard (non-drain or timed-out) stop leaves queued is
+        failed with a ``draining`` error rather than abandoned.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._draining = True
+        deadline = time.monotonic() + (
+            self.config.drain_timeout_s if timeout is None else timeout
+        )
+        if self._sock is not None:
+            try:
+                self._sock.close()  # acceptor's accept() raises OSError -> exits
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        coalescers = list(self._coalescers.values())
+        if drain:
+            for coalescer in coalescers:
+                coalescer.stop()
+            for coalescer in coalescers:
+                coalescer.join(timeout=max(0.0, deadline - time.monotonic()))
+            with self._inflight_cv:
+                self._inflight_cv.wait_for(
+                    lambda: self._inflight == 0,
+                    timeout=max(0.0, deadline - time.monotonic()),
+                )
+        self._closed = True
+        for coalescer in coalescers:
+            if not drain:
+                coalescer.stop()
+            coalescer.flush_pending(
+                "draining", "daemon shut down before the request was served"
+            )
+        for conn in list(self._connections):
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        for thread in list(self._connections.values()):
+            thread.join(timeout=1.0)
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=1.0)
+        self._done.set()
+
+    # -- socket plumbing --------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while True:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # listener closed by shutdown()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            handler = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            with self._state_lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self._connections[conn] = handler
+            handler.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        reader = FrameReader(self.config.max_frame_bytes)
+        try:
+            while True:
+                try:
+                    chunk = conn.recv(65536)
+                except OSError:
+                    return
+                if not chunk:
+                    return
+                pending = True
+                first = True
+                while pending:
+                    pending = False
+                    try:
+                        # After a bad line, drain() resumes with the valid
+                        # frames that arrived in the same chunk behind it.
+                        for request in reader.feed(chunk) if first else reader.drain():
+                            self._dispatch(conn, request)
+                    except FrameTooLarge as exc:
+                        # No resync is possible inside an oversized line:
+                        # answer once, then drop the connection.
+                        self.metrics.record_error("frame_too_large")
+                        self._send(
+                            conn, error_response(None, "frame_too_large", str(exc))
+                        )
+                        return
+                    except FrameError as exc:
+                        # The bad line was consumed; the connection survives.
+                        self.metrics.record_error("bad_frame")
+                        self._send(conn, error_response(None, "bad_frame", str(exc)))
+                        pending = True
+                        first = False
+        finally:
+            with self._state_lock:
+                self._connections.pop(conn, None)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def _send(self, conn: socket.socket, response: Dict[str, object]) -> bool:
+        try:
+            conn.sendall(encode_frame(response))
+            return True
+        except (OSError, ValueError):
+            return False  # client went away; nothing left to tell it
+
+    # -- dispatch ---------------------------------------------------------
+    def _dispatch(self, conn: socket.socket, request: Dict[str, object]) -> None:
+        op = request.get("op")
+        self.metrics.record_request(str(op))
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            if op == "ping":
+                self._send(conn, ok_response(request, {"pong": True}))
+            elif op == "metrics":
+                self._send(conn, ok_response(request, self._metrics_snapshot()))
+            elif op == "score":
+                self._handle_score(conn, request)
+            elif op == "store":
+                self._handle_store(conn, request)
+            elif op == "shutdown":
+                self._handle_shutdown(conn, request)
+            else:
+                self._fail(conn, request, "unknown_op", f"unknown op {op!r}")
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
+
+    def _fail(
+        self,
+        conn: socket.socket,
+        request: Dict[str, object],
+        code: str,
+        message: str,
+        retry_after_ms: Optional[int] = None,
+    ) -> None:
+        self.metrics.record_error(code)
+        self._send(conn, error_response(request, code, message, retry_after_ms))
+
+    # -- score ------------------------------------------------------------
+    def _handle_score(self, conn: socket.socket, request: Dict[str, object]) -> None:
+        t_start = time.perf_counter()
+        appliance = request.get("appliance")
+        if not isinstance(appliance, str):
+            return self._fail(conn, request, "bad_request", "missing 'appliance'")
+        if appliance not in self.engine.pipelines:
+            return self._fail(
+                conn,
+                request,
+                "unknown_appliance",
+                f"no pipeline registered for {appliance!r}; "
+                f"serving {sorted(self.engine.pipelines)}",
+            )
+        if "series" not in request:
+            return self._fail(conn, request, "bad_request", "missing 'series'")
+        try:
+            series = decode_series(request["series"])
+        except FrameError as exc:
+            return self._fail(conn, request, "bad_request", str(exc))
+        if series.size == 0:
+            return self._fail(conn, request, "bad_request", "series is empty")
+        try:
+            aggregate, plan, windows = self.engine.window_series(series)
+        except ValueError as exc:
+            return self._fail(conn, request, "bad_request", str(exc))
+        if self._draining:
+            return self._fail(
+                conn,
+                request,
+                "draining",
+                "daemon is draining; retry against another replica",
+                retry_after_ms=self.metrics.retry_after_ms(self.config.queue_depth),
+            )
+
+        item = _PendingScore(appliance, aggregate, plan, windows)
+        coalescer = self._coalescer_for(appliance)
+        try:
+            coalescer.queue.put_nowait(item)
+        except queue.Full:
+            return self._fail(
+                conn,
+                request,
+                "overloaded",
+                f"appliance {appliance!r} queue is full "
+                f"({self.config.queue_depth} pending requests)",
+                retry_after_ms=self.metrics.retry_after_ms(self.config.queue_depth),
+            )
+        if not item.done.wait(timeout=self.config.request_timeout_s):
+            return self._fail(
+                conn,
+                request,
+                "internal",
+                f"request timed out after {self.config.request_timeout_s}s",
+            )
+        if item.error is not None:
+            code, message = item.error
+            retry = (
+                self.metrics.retry_after_ms(self.config.queue_depth)
+                if code in ("overloaded", "draining")
+                else None
+            )
+            return self._fail(conn, request, code, message, retry)
+
+        result = item.result
+        assert result is not None
+        latency = time.perf_counter() - t_start
+        self.metrics.record_latency(latency)
+        # Mirror the request's series encoding in the response.
+        compact = isinstance(request["series"], str)
+        payload: Dict[str, object] = {
+            "appliance": appliance,
+            "n_samples": plan.series_length,
+            "n_windows": plan.n_windows,
+            "window": plan.window,
+            "stride": plan.stride,
+            "detection_rate": result.detection_rate,
+            "cache_hits": item.cache_hits,
+            "coalesced_requests": item.batch_requests,
+            "coalesced_windows": item.batch_windows,
+            "server_ms": latency * 1e3,
+            "soft_status": (
+                encode_series(result.soft_status)
+                if compact
+                else [float(v) for v in result.soft_status]
+            ),
+            "status": (
+                encode_series(result.status)
+                if compact
+                else [float(v) for v in result.status]
+            ),
+        }
+        self._send(conn, ok_response(request, payload))
+
+    def _coalescer_for(self, appliance: str) -> _Coalescer:
+        """The appliance's coalescer thread, created lazily on first use."""
+        coalescer = self._coalescers.get(appliance)
+        if coalescer is not None:
+            return coalescer
+        with self._state_lock:
+            coalescer = self._coalescers.get(appliance)
+            if coalescer is None:
+                coalescer = _Coalescer(
+                    appliance, self.engine, self.config, self.metrics
+                )
+                self._coalescers[appliance] = coalescer
+                coalescer.start()
+        return coalescer
+
+    # -- bulk store jobs --------------------------------------------------
+    def _handle_store(self, conn: socket.socket, request: Dict[str, object]) -> None:
+        store_path = request.get("store")
+        if not isinstance(store_path, str):
+            return self._fail(conn, request, "bad_request", "missing 'store'")
+        appliances = request.get("appliances")
+        house_ids = request.get("house_ids")
+        for field_name, value in (("appliances", appliances), ("house_ids", house_ids)):
+            if value is not None and not (
+                isinstance(value, list) and all(isinstance(v, str) for v in value)
+            ):
+                return self._fail(
+                    conn, request, "bad_request", f"{field_name!r} must be a string list"
+                )
+        try:
+            workers = int(request.get("workers", 1))
+        except (TypeError, ValueError):
+            return self._fail(conn, request, "bad_request", "'workers' must be an int")
+        if self._draining:
+            return self._fail(
+                conn, request, "draining", "daemon is draining; bulk job refused"
+            )
+        t_start = time.perf_counter()
+        try:
+            rows, workers_used = self._run_store_job(
+                store_path, house_ids, appliances, workers
+            )
+        except KeyError as exc:
+            return self._fail(conn, request, "bad_request", str(exc))
+        except (OSError, ValueError) as exc:
+            return self._fail(
+                conn, request, "bad_request", f"{type(exc).__name__}: {exc}"
+            )
+        self._send(
+            conn,
+            ok_response(
+                request,
+                {
+                    "store": store_path,
+                    "n_households": len(rows),
+                    "workers": workers_used,
+                    "job_ms": (time.perf_counter() - t_start) * 1e3,
+                    "rows": rows,
+                },
+            ),
+        )
+
+    def _run_store_job(
+        self,
+        store_path: str,
+        house_ids: Optional[List[str]],
+        appliances: Optional[List[str]],
+        workers: int,
+    ) -> Tuple[List[Dict[str, object]], int]:
+        from ..data.store import MeterStore
+
+        store = MeterStore(store_path)
+        houses = list(store.house_ids if house_ids is None else house_ids)
+        workers = max(1, min(workers, len(houses)))
+        if workers == 1 or self.fleet_dir is None:
+            # In-process path: shares the warm engine (and its result
+            # cache) with interactive traffic, serialized by the engine
+            # lock like everything else.
+            rows = [
+                _summarize_household(house_id, scores)
+                for house_id, scores in self.engine.score_store(
+                    store, houses, appliances
+                )
+            ]
+            return rows, 1
+        for name in appliances or []:
+            if name not in self.engine.pipelines:
+                raise KeyError(f"no pipeline registered for appliance {name!r}")
+        # Contiguous shards keep the output in input order after a plain
+        # concatenation; `spawn` (not fork) because the daemon is
+        # multithreaded and a forked child could inherit a held lock.
+        import multiprocessing
+
+        shards = [list(part) for part in np.array_split(houses, workers) if len(part)]
+        engine_config = asdict(self.engine.config)
+        rows = []
+        with ProcessPoolExecutor(
+            max_workers=len(shards), mp_context=multiprocessing.get_context("spawn")
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _score_store_shard,
+                    self.fleet_dir,
+                    engine_config,
+                    store_path,
+                    shard,
+                    appliances,
+                )
+                for shard in shards
+            ]
+            for future in futures:
+                rows.extend(future.result())
+        return rows, len(shards)
+
+    # -- metrics / shutdown ops -------------------------------------------
+    def _metrics_snapshot(self) -> Dict[str, object]:
+        queues = {
+            name: coalescer.queue.qsize()
+            for name, coalescer in self._coalescers.items()
+        }
+        return self.metrics.snapshot(
+            extra={
+                "appliances": sorted(self.engine.pipelines),
+                "queue_depth": queues,
+                "draining": self._draining,
+                "config": {
+                    "coalesce": self.config.coalesce,
+                    "max_batch_windows": self.config.max_batch_windows,
+                    "max_wait_us": self.config.max_wait_us,
+                    "queue_limit": self.config.queue_depth,
+                    "window": self.engine.config.window,
+                    "stride": self.engine.config.stride
+                    or self.engine.config.window,
+                    "batch_size": self.engine.config.batch_size,
+                },
+                "buffer_pool": self.engine.buffer_pool_stats(),
+                "plan": self.engine.plan_stats(),
+            }
+        )
+
+    def _handle_shutdown(self, conn: socket.socket, request: Dict[str, object]) -> None:
+        if not self.config.allow_shutdown:
+            return self._fail(
+                conn, request, "bad_request", "shutdown is disabled on this daemon"
+            )
+        self._send(conn, ok_response(request, {"draining": True}))
+        # Drain from a fresh thread: this handler IS one of the threads
+        # shutdown() waits on, so doing it inline would self-deadlock.
+        threading.Thread(
+            target=self.shutdown, kwargs={"drain": True}, daemon=True
+        ).start()

@@ -538,3 +538,59 @@ class TestEnginePersistence:
     def test_load_pipelines_missing_root_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_pipelines(str(tmp_path / "nope"))
+
+
+class TestEngineThreadSafety:
+    """Concurrent `run` calls must match serial runs bit for bit.
+
+    The engine serializes forwards on an internal lock because the
+    buffer pool and traced plans are per-ensemble single-writer; this is
+    the regression test keeping that contract honest (the serving daemon
+    depends on it from many connection threads at once).
+    """
+
+    def test_concurrent_run_bit_identical_to_serial(self):
+        import threading
+
+        camal = _camal(n_models=2)
+        shared = InferenceEngine(
+            EngineConfig(window=32, stride=16, cache_size=16, backend="im2col")
+        )
+        shared.register("kettle", camal)
+        serial = InferenceEngine(
+            EngineConfig(window=32, stride=16, cache_size=0, backend="im2col")
+        )
+        serial.register("kettle", camal)
+
+        n_threads = 8
+        rng = np.random.default_rng(11)
+        series = [
+            (rng.random(96 + 16 * i).astype(np.float32) * 2000)
+            for i in range(n_threads)
+        ]
+        expected = [serial.run(s).per_appliance["kettle"] for s in series]
+
+        results = [None] * n_threads
+        errors = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker(i):
+            try:
+                barrier.wait()
+                for _ in range(3):  # repeats exercise the shared LRU cache
+                    results[i] = shared.run(series[i]).per_appliance["kettle"]
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append((i, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        for i in range(n_threads):
+            assert results[i] is not None
+            assert np.array_equal(results[i].soft_status, expected[i].soft_status)
+            assert np.array_equal(results[i].status, expected[i].status)
