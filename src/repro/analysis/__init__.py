@@ -14,23 +14,35 @@ Three pieces, one contract:
   Free when off (a single ``is None`` branch in the instrumented paths).
 * :mod:`repro.analysis.envvars` — the registry every ``REPRO_*``
   environment variable must appear in, cross-checked against ``docs/``.
+* :mod:`repro.analysis.faults` — deterministic, seeded fault injection
+  (``REPRO_FAULTS``): named points in the store/serving/training paths
+  raise, tear, bitflip, delay or kill on demand so the self-healing
+  layers can be exercised in CI.  Free when off (one ``is None`` branch
+  per instrumented point).
 
-See ``docs/analysis.md`` for the rule catalog and sanitizer semantics.
+See ``docs/analysis.md`` for the rule catalog and sanitizer semantics,
+``docs/robustness.md`` for the fault-injection grammar.
 """
 
 from __future__ import annotations
 
-from . import envvars, sanitize
+from . import envvars, faults, sanitize
+from .faults import FaultPlan, FaultSpec, InjectedFault, parse_spec
 from .lint import LintReport, Violation, run_lint
 from .markers import hot_path
 from .sanitize import PlanSanitizeError
 
 __all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "LintReport",
     "PlanSanitizeError",
     "Violation",
     "envvars",
+    "faults",
     "hot_path",
+    "parse_spec",
     "run_lint",
     "sanitize",
 ]

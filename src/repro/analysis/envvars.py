@@ -139,6 +139,26 @@ _ENTRIES = (
         owner="repro.serving.server",
     ),
     EnvVar(
+        name="REPRO_FAULTS",
+        values="point:prob:kind[:seed], comma-separated (default: off)",
+        description=(
+            "Deterministic fault injection at named points (e.g. "
+            "`store.shard_write:0.5:torn_write:7`); kinds are exception, "
+            "torn_write, bitflip, delay, kill — see docs/robustness.md."
+        ),
+        owner="repro.analysis.faults",
+    ),
+    EnvVar(
+        name="REPRO_CKPT_KEEP",
+        values="int >= 1 (default: 2)",
+        description=(
+            "How many checkpoint generations `save_checkpoint` keeps per "
+            "path (newest first); resume falls back to the newest intact "
+            "one when the latest is torn."
+        ),
+        owner="repro.training.checkpoint",
+    ),
+    EnvVar(
         name="REPRO_SMOKE",
         values="1 (default: off)",
         description=(

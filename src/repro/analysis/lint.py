@@ -28,6 +28,9 @@ BCK001    error     conv backend module missing part of the kernel
                     ``grad_weight``/``grad_input``)
 CNT001    error     counter in ``backend/counters.py`` not asserted by
                     any test
+ERR001    error     error swallowing: bare ``except:``, or an
+                    ``except Exception``/``except BaseException`` handler
+                    whose body is only ``pass``
 WVR001    error     waiver comment without a justification
 WVR002    warning   waiver that matched no violation
 SYN001    error     file failed to parse
@@ -499,12 +502,68 @@ def _rule_backend_contract(ctx: _FileContext) -> Iterator[Violation]:
         )
 
 
+_BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_exception_types(node: ast.expr) -> List[str]:
+    """The Exception-wide names a handler's type expression catches."""
+    names = (
+        [element for element in node.elts if isinstance(element, ast.Name)]
+        if isinstance(node, ast.Tuple)
+        else [node] if isinstance(node, ast.Name) else []
+    )
+    return [name.id for name in names if name.id in _BROAD_EXCEPTION_NAMES]
+
+
+def _body_is_only_pass(body: List[ast.stmt]) -> bool:
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in body
+    )
+
+
+def _rule_error_swallowing(ctx: _FileContext) -> Iterator[Violation]:
+    """ERR001: no bare ``except:``; no Exception-wide handlers that only pass.
+
+    A bare ``except:`` also traps ``SystemExit``/``KeyboardInterrupt``,
+    and an ``except Exception: pass`` turns every failure — including
+    corruption the robustness layer exists to surface — into silence.
+    Narrow, typed best-effort handlers (``except OSError: pass`` around a
+    close) stay legal: they state which failure is being tolerated.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield ctx.violation(
+                "ERR001",
+                node.lineno,
+                "bare `except:` also catches SystemExit/KeyboardInterrupt; "
+                "name the exception type you mean to handle",
+            )
+            continue
+        broad = _broad_exception_types(node.type)
+        if broad and _body_is_only_pass(node.body):
+            yield ctx.violation(
+                "ERR001",
+                node.lineno,
+                f"`except {broad[0]}: pass` swallows every failure silently; "
+                "narrow the type, handle the error, or re-raise",
+            )
+
+
 _FILE_RULES = (
     _rule_hot,
     _rule_det_calls,
     _rule_det_entries,
     _rule_env_literals,
     _rule_backend_contract,
+    _rule_error_swallowing,
 )
 
 

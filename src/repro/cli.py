@@ -14,6 +14,7 @@ Usage::
     python -m repro data ingest --corpus ukdale --days 7 --out stores/ukdale
     python -m repro data info stores/ukdale
     python -m repro data windows stores/ukdale --appliance kettle
+    python -m repro data verify stores/ukdale --quarantine
 
 Each experiment subcommand prints the same rows/series the paper reports
 (see EXPERIMENTS.md for the paper-vs-measured comparison); ``report``
@@ -26,8 +27,9 @@ baseline via ``--model <name>@<scale>`` — and persists it for
 ``InferenceEngine.load`` (see ``docs/training.md`` and ``docs/api.md``);
 ``data`` manages :mod:`repro.data` meter stores — ``ingest`` builds a
 sharded store from a corpus or CSV directory, ``info`` prints its
-manifest, ``windows`` counts streamable training windows per household
-(see ``docs/data.md``).
+manifest, ``windows`` counts streamable training windows per household,
+``verify`` re-hashes every shard against its manifest checksum (see
+``docs/data.md`` and ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -244,8 +246,8 @@ def build_parser() -> argparse.ArgumentParser:
         "persist one appliance model (own flags; see 'repro train --help' "
         "and docs/training.md); 'repro models' — list every registered "
         "estimator and its scale presets (docs/api.md); 'repro data "
-        "ingest|info|windows' — build and inspect sharded meter stores "
-        "(docs/data.md)",
+        "ingest|info|windows|verify' — build, inspect and checksum-verify "
+        "sharded meter stores (docs/data.md, docs/robustness.md)",
     )
     parser.add_argument(
         "experiment",
@@ -541,6 +543,19 @@ def build_data_parser() -> argparse.ArgumentParser:
         "--houses", default=None,
         help="comma-separated household subset (default: all)",
     )
+
+    verify = sub.add_parser(
+        "verify",
+        help="re-hash every shard against its manifest checksum "
+        "(exits non-zero on corruption)",
+    )
+    verify.add_argument("store", help="store directory")
+    verify.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="move corrupt shards aside so reads fail fast; repair with "
+        "repro.data.repair_household_from_source",
+    )
     return parser
 
 
@@ -650,12 +665,45 @@ def _run_data_windows(args: argparse.Namespace) -> str:
     )
 
 
+def _run_data_verify(args: argparse.Namespace) -> str:
+    """``repro data verify``: eager checksum sweep over every shard.
+
+    Raises ``SystemExit`` carrying the report when corruption is found, so
+    the process exits non-zero — CI can gate on store integrity directly.
+    """
+    from .data import MeterStore
+
+    store = MeterStore(args.store)
+    start = time.perf_counter()
+    bad = store.verify(quarantine=args.quarantine)
+    wall = time.perf_counter() - start
+    n_shards = sum(meta.n_shards for meta in store.households.values())
+    header = (
+        f"Verified {n_shards} shard(s) across {len(store)} household(s) "
+        f"in {wall:.2f}s"
+    )
+    if not bad:
+        return f"{header}\n  all checksums match"
+    lines = [header]
+    for hid in sorted(bad):
+        for shard, reason in sorted(bad[hid].items()):
+            action = "quarantined" if args.quarantine else "CORRUPT"
+            lines.append(f"  {action}: house {hid!r} shard {shard}: {reason}")
+    lines.append(
+        "repair: repro.data.repair_household_from_source(store, house_id, "
+        "aggregate, appliance_channels) re-ingests just the bad shards"
+    )
+    raise SystemExit("\n".join(lines))
+
+
 def run_data(args: argparse.Namespace) -> str:
     """Execute ``repro data`` and return the human-readable summary."""
     if args.action == "ingest":
         return _run_data_ingest(args)
     if args.action == "info":
         return _run_data_info(args)
+    if args.action == "verify":
+        return _run_data_verify(args)
     return _run_data_windows(args)
 
 

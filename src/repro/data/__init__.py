@@ -30,13 +30,23 @@ Serving reads the same shards through
 :meth:`repro.serving.InferenceEngine.score_store`; see ``docs/data.md``.
 """
 
-from .ingest import IngestConfig, ingest_corpus, ingest_csv_dir, preprocess_household
+from .ingest import (
+    IngestConfig,
+    ingest_corpus,
+    ingest_csv_dir,
+    preprocess_household,
+    repair_household_from_source,
+)
 from .store import (
     AGGREGATE_CHANNEL,
     DEFAULT_SHARD_LENGTH,
     HouseholdMeta,
+    ManifestError,
     MeterStore,
     STORE_FORMAT_VERSION,
+    ShardCorruptionError,
+    StoreIntegrityError,
+    shard_checksum,
     write_household_shards,
     write_manifest,
 )
@@ -50,8 +60,13 @@ __all__ = [
     "ingest_corpus",
     "ingest_csv_dir",
     "preprocess_household",
+    "repair_household_from_source",
     "write_household_shards",
     "write_manifest",
+    "shard_checksum",
+    "StoreIntegrityError",
+    "ManifestError",
+    "ShardCorruptionError",
     "AGGREGATE_CHANNEL",
     "DEFAULT_SHARD_LENGTH",
     "STORE_FORMAT_VERSION",

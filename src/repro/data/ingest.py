@@ -125,13 +125,16 @@ def _ingest_household(job: _HouseJob) -> Dict:
         resample_factor,
         keep_tail,
     )
-    n_shards = write_household_shards(store_dir, house_id, channels, mask, shard_length)
+    checksums = write_household_shards(
+        store_dir, house_id, channels, mask, shard_length
+    )
     return {
         "n_samples": int(len(mask)),
-        "n_shards": n_shards,
+        "n_shards": len(checksums),
         "channels": channel_order(channels),
         "possession": {k: bool(v) for k, v in possession.items()},
         "submetered": sorted(appliance_channels),
+        "checksums": checksums,
     }
 
 
@@ -217,6 +220,52 @@ def ingest_corpus(
         max_ffill=max_ffill,
         source=f"corpus:{corpus.name}",
     )
+
+
+def repair_household_from_source(
+    store: MeterStore,
+    house_id: str,
+    aggregate: np.ndarray,
+    appliance_channels: Dict[str, np.ndarray],
+    shards: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Re-ingest one household's damaged shards from its raw source series.
+
+    Preprocessing is deterministic and its provenance (resample factor,
+    fill bound, tail policy) is recorded in the manifest, so re-running
+    the recipe on the original raw series reproduces the original shard
+    bytes exactly — a quarantined shard repairs back to its recorded
+    checksum without touching the household's healthy shards.
+
+    ``shards`` picks which shard indices to rewrite; by default every
+    quarantined or integrity-failing shard of the household is repaired.
+    Returns the repaired shard indices.
+    """
+    provenance = store.preprocessing
+    channels, mask = preprocess_household(
+        np.asarray(aggregate, dtype=np.float32),
+        {k: np.asarray(v, dtype=np.float32) for k, v in appliance_channels.items()},
+        int(provenance["max_ffill_samples"]),
+        int(provenance["resample_factor"]),
+        bool(provenance["keep_tail"]),
+    )
+    meta = store.house_meta(house_id)
+    if len(mask) != meta.n_samples:
+        raise ValueError(
+            f"house {house_id!r}: source re-ingest produced {len(mask)} "
+            f"samples, manifest records {meta.n_samples} — wrong source data?"
+        )
+    if shards is None:
+        targets = set(meta.quarantined)
+        for k in range(meta.n_shards):
+            if k not in targets and store._shard_fault_reason(house_id, meta, k):
+                targets.add(k)
+    else:
+        targets = set(int(k) for k in shards)
+    repaired = sorted(targets)
+    for k in repaired:
+        store.repair_shard(house_id, k, channels, mask)
+    return repaired
 
 
 def _read_csv_series(path: str) -> np.ndarray:

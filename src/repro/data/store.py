@@ -37,16 +37,17 @@ and serving never need the original corpus again.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..analysis import sanitize
+from ..analysis import faults, sanitize
 
 #: On-disk manifest schema version.
 STORE_FORMAT_VERSION = 1
@@ -59,6 +60,7 @@ AGGREGATE_CHANNEL = "aggregate"
 
 MANIFEST_NAME = "manifest.json"
 _SHARDS_DIR = "shards"
+_QUARANTINE_DIR = "quarantine"
 
 #: Open memmaps kept per store (LRU).  A memmap costs an open+mmap pair
 #: of syscalls; window reads hit the same shard thousands of times, so
@@ -67,8 +69,42 @@ _SHARDS_DIR = "shards"
 _MMAP_CACHE_SIZE = 32
 
 
+class StoreIntegrityError(RuntimeError):
+    """Base class for store corruption the reader can prove."""
+
+
+class ManifestError(StoreIntegrityError):
+    """The manifest is unreadable, malformed, or self-inconsistent."""
+
+
+class ShardCorruptionError(StoreIntegrityError):
+    """A shard file fails its size or checksum contract (or is quarantined)."""
+
+    def __init__(self, house_id: str, shard: int, reason: str):
+        super().__init__(f"house {house_id!r} shard {shard}: {reason}")
+        self.house_id = house_id
+        self.shard = shard
+        self.reason = reason
+
+
+def shard_checksum(payload: bytes) -> str:
+    """Checksum used for shard payloads (blake2b-128 hex)."""
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
 def _atomic_write_bytes(path: str, payload: bytes) -> None:
-    """Write ``payload`` to ``path`` atomically (tmp file + rename)."""
+    """Write ``payload`` to ``path`` atomically (tmp file + rename).
+
+    The ``store.shard_write`` fault point covers shard payloads only: a
+    torn *manifest* is a crashed ingest (the manifest is written last, so
+    the store simply never becomes readable), while a torn *shard* under
+    an intact manifest is the silent-corruption case the checksums exist
+    to catch.
+    """
+    if faults.ACTIVE is not None and not path.endswith(MANIFEST_NAME):
+        payload = faults.ACTIVE.fire(
+            "store.shard_write", token=os.path.basename(path), payload=payload
+        )
     directory = os.path.dirname(path) or "."
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
@@ -98,14 +134,16 @@ def write_household_shards(
     channels: Dict[str, np.ndarray],
     mask: np.ndarray,
     shard_length: int,
-) -> int:
+) -> List[str]:
     """Write one household's channels+mask as fixed-length shards.
 
     ``channels`` maps channel name -> float32 series; all series and the
     boolean ``mask`` must share one length.  NaN values are stored as
     ``0.0`` (the mask records which aggregate samples were actually
     recorded); non-NaN values are kept verbatim, so submeter readings
-    survive aggregate gaps.  Returns the number of shards written.
+    survive aggregate gaps.  Returns the per-shard blake2b checksums in
+    shard order (so ``len(...)`` is the shard count); the manifest records
+    them for lazy/eager verification on the read side.
     """
     if AGGREGATE_CHANNEL not in channels:
         raise ValueError(f"{house_id}: channels must include {AGGREGATE_CHANNEL!r}")
@@ -119,25 +157,37 @@ def write_household_shards(
                 f"{house_id}: channel {name!r} has {len(channels[name])} samples, "
                 f"mask has {n}"
             )
-    mask_f = np.asarray(mask, dtype=bool)
-    rows = [
-        np.nan_to_num(np.asarray(channels[name], dtype=np.float32), nan=0.0)
-        for name in names
-    ]
-    rows.append(mask_f.astype(np.float32))
-    matrix = np.stack(rows)  # (n_channels + 1, n)
+    matrix = _stack_household_matrix(names, channels, mask)
 
     house_dir = os.path.join(store_dir, _SHARDS_DIR, house_id)
     os.makedirs(house_dir, exist_ok=True)
     n_shards = max(1, -(-n // shard_length))  # ceil; at least one shard
+    checksums = []
     for k in range(n_shards):
-        start, stop = k * shard_length, min((k + 1) * shard_length, n)
-        shard = np.zeros((matrix.shape[0], shard_length), dtype="<f4")
-        shard[:, : stop - start] = matrix[:, start:stop]
-        _atomic_write_bytes(
-            os.path.join(house_dir, f"{k:05d}.f32"), shard.tobytes()
-        )
-    return n_shards
+        payload = _shard_payload(matrix, k, shard_length, n)
+        _atomic_write_bytes(os.path.join(house_dir, f"{k:05d}.f32"), payload)
+        checksums.append(shard_checksum(payload))
+    return checksums
+
+
+def _stack_household_matrix(
+    names: Sequence[str], channels: Dict[str, np.ndarray], mask: np.ndarray
+) -> np.ndarray:
+    """Stack channels + mask into the ``(n_channels + 1, n)`` shard layout."""
+    rows = [
+        np.nan_to_num(np.asarray(channels[name], dtype=np.float32), nan=0.0)
+        for name in names
+    ]
+    rows.append(np.asarray(mask, dtype=bool).astype(np.float32))
+    return np.stack(rows)
+
+
+def _shard_payload(matrix: np.ndarray, k: int, shard_length: int, n: int) -> bytes:
+    """Bytes of shard ``k``: the sliced matrix, zero-padded to full length."""
+    start, stop = k * shard_length, min((k + 1) * shard_length, n)
+    shard = np.zeros((matrix.shape[0], shard_length), dtype="<f4")
+    shard[:, : stop - start] = matrix[:, start:stop]
+    return shard.tobytes()
 
 
 def channel_order(channels: Dict[str, np.ndarray] | Sequence[str]) -> List[str]:
@@ -158,6 +208,13 @@ class HouseholdMeta:
     channels: Tuple[str, ...]  # shard row order; the mask row is implicit
     possession: Dict[str, bool]
     submetered: Tuple[str, ...]
+    #: Per-shard blake2b hex digests (``None`` for stores ingested before
+    #: checksums existed — those read without verification).
+    checksums: Optional[Tuple[str, ...]] = None
+    #: Shards moved aside by :meth:`MeterStore.verify` — shard index ->
+    #: corruption reason.  Reads of a quarantined shard raise instead of
+    #: returning bytes known to be wrong.
+    quarantined: Dict[int, str] = field(default_factory=dict)
 
     def channel_row(self, channel: str) -> int:
         try:
@@ -191,25 +248,71 @@ class MeterStore:
                 f"{path!r} is not a meter store (missing {MANIFEST_NAME}); "
                 f"ingest one with repro.data.ingest_corpus or 'repro data ingest'"
             )
-        with open(manifest_path) as handle:
-            self.manifest: Dict = json.load(handle)
+        try:
+            with open(manifest_path) as handle:
+                self.manifest: Dict = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ManifestError(
+                f"{path!r}: {MANIFEST_NAME} is not valid JSON ({exc}); the "
+                f"store is unreadable — re-ingest it"
+            ) from exc
+        if not isinstance(self.manifest, dict):
+            raise ManifestError(
+                f"{path!r}: {MANIFEST_NAME} must hold a JSON object, "
+                f"got {type(self.manifest).__name__}"
+            )
         version = self.manifest.get("format")
         if version != STORE_FORMAT_VERSION:
             raise ValueError(
                 f"{path!r}: unsupported store format {version!r} "
                 f"(this build reads format {STORE_FORMAT_VERSION})"
             )
-        self._mmaps: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
+        # Cached memmaps carry the stat signature seen at open, so a file
+        # deleted or replaced underneath the LRU is detected on the next
+        # hit instead of serving a stale (or SIGBUS-prone) mapping.
+        self._mmaps: "OrderedDict[Tuple[str, int], Tuple[np.ndarray, Tuple[int, int, int]]]" = (
+            OrderedDict()
+        )
+        #: ``(house_id, shard)`` -> stat signature at verification time.
+        #: A shard is re-hashed whenever the file identity on disk no
+        #: longer matches the signature it was verified under.
+        self._verified: Dict[Tuple[str, int], Tuple[int, int, int]] = {}
         self.households: Dict[str, HouseholdMeta] = {}
-        for house_id, entry in self.manifest["households"].items():
-            self.households[house_id] = HouseholdMeta(
-                house_id=house_id,
-                n_samples=int(entry["n_samples"]),
-                n_shards=int(entry["n_shards"]),
-                channels=tuple(entry["channels"]),
-                possession={k: bool(v) for k, v in entry["possession"].items()},
-                submetered=tuple(entry["submetered"]),
+        try:
+            entries = self.manifest["households"].items()
+        except (KeyError, AttributeError) as exc:
+            raise ManifestError(
+                f"{path!r}: {MANIFEST_NAME} has no 'households' table"
+            ) from exc
+        for house_id, entry in entries:
+            try:
+                self.households[house_id] = self._meta_from_entry(house_id, entry)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ManifestError(
+                    f"{path!r}: malformed manifest entry for house "
+                    f"{house_id!r}: {exc}"
+                ) from exc
+
+    @staticmethod
+    def _meta_from_entry(house_id: str, entry: Dict) -> HouseholdMeta:
+        checksums = entry.get("checksums")
+        n_shards = int(entry["n_shards"])
+        if checksums is not None and len(checksums) != n_shards:
+            raise ValueError(
+                f"{len(checksums)} checksums for {n_shards} shards"
             )
+        return HouseholdMeta(
+            house_id=house_id,
+            n_samples=int(entry["n_samples"]),
+            n_shards=n_shards,
+            channels=tuple(entry["channels"]),
+            possession={k: bool(v) for k, v in entry["possession"].items()},
+            submetered=tuple(entry["submetered"]),
+            checksums=tuple(checksums) if checksums is not None else None,
+            quarantined={
+                int(k): str(v) for k, v in entry.get("quarantined", {}).items()
+            },
+        )
 
     # -- corpus-compatible metadata ---------------------------------------
     @property
@@ -267,11 +370,28 @@ class MeterStore:
     def shard_path(self, house_id: str, shard: int) -> str:
         return os.path.join(self.path, _SHARDS_DIR, house_id, f"{shard:05d}.f32")
 
+    def _stat_signature(self, path: str) -> Optional[Tuple[int, int, int]]:
+        """File identity used to validate cached memmaps (None = gone)."""
+        try:
+            st = os.stat(path)
+        except OSError:
+            return None
+        return (st.st_ino, st.st_size, st.st_mtime_ns)
+
+    def _expected_shard_bytes(self, meta: HouseholdMeta) -> int:
+        return (len(meta.channels) + 1) * self.shard_length * 4
+
     def shard(self, house_id: str, shard: int) -> np.ndarray:
         """Memory-map one shard, shape ``(n_channels + 1, shard_length)``.
 
         Maps are read-only and cached in a small LRU, so streaming many
-        windows out of one shard opens its file once.
+        windows out of one shard opens its file once.  Cache hits are
+        stat-validated: a shard file deleted or replaced underneath the
+        LRU evicts the stale mapping and reopens (re-verifying the
+        checksum) instead of serving bytes from a vanished file.  The
+        first open of each shard verifies its manifest checksum when the
+        store records one; failures raise :class:`ShardCorruptionError`
+        rather than returning data known to be wrong.
         """
         meta = self.house_meta(house_id)
         if not 0 <= shard < meta.n_shards:
@@ -279,17 +399,49 @@ class MeterStore:
                 f"house {house_id!r} has {meta.n_shards} shards, asked for {shard}"
             )
         key = (house_id, shard)
+        path = self.shard_path(house_id, shard)
         cached = self._mmaps.get(key)
         if cached is not None:
-            self._mmaps.move_to_end(key)
-            return cached
+            mapped, signature = cached
+            if self._stat_signature(path) == signature:
+                self._mmaps.move_to_end(key)
+                return mapped
+            del self._mmaps[key]
+            self._verified.pop(key, None)
+        if shard in meta.quarantined:
+            raise ShardCorruptionError(
+                house_id, shard,
+                f"quarantined ({meta.quarantined[shard]}); repair it with "
+                f"MeterStore.repair_shard or re-ingest the household",
+            )
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("store.shard_read", token=key)
+        signature = self._stat_signature(path)
+        if signature is None:
+            raise ShardCorruptionError(house_id, shard, f"shard file missing: {path}")
+        expected = self._expected_shard_bytes(meta)
+        if signature[1] != expected:
+            raise ShardCorruptionError(
+                house_id, shard,
+                f"truncated: {signature[1]} bytes on disk, expected {expected}",
+            )
+        if meta.checksums is not None and self._verified.get(key) != signature:
+            with open(path, "rb") as handle:
+                digest = shard_checksum(handle.read())
+            if digest != meta.checksums[shard]:
+                raise ShardCorruptionError(
+                    house_id, shard,
+                    f"checksum mismatch: manifest records "
+                    f"{meta.checksums[shard]}, file hashes to {digest}",
+                )
+            self._verified[key] = signature
         mapped = np.memmap(
-            self.shard_path(house_id, shard),
+            path,
             dtype="<f4",
             mode="r",
             shape=(len(meta.channels) + 1, self.shard_length),
         )
-        self._mmaps[key] = mapped
+        self._mmaps[key] = (mapped, signature)
         while len(self._mmaps) > _MMAP_CACHE_SIZE:
             self._mmaps.popitem(last=False)
         return mapped
@@ -374,6 +526,144 @@ class MeterStore:
         n = self.n_samples(house_id)
         for start in range(0, n, self.shard_length):
             yield start, min(start + self.shard_length, n)
+
+    # -- integrity: verify / quarantine / repair ---------------------------
+    def _shard_fault_reason(
+        self, house_id: str, meta: HouseholdMeta, shard: int
+    ) -> Optional[str]:
+        """Reason shard ``shard`` fails its integrity contract, or None."""
+        path = self.shard_path(house_id, shard)
+        signature = self._stat_signature(path)
+        if signature is None:
+            return f"shard file missing: {path}"
+        expected = self._expected_shard_bytes(meta)
+        if signature[1] != expected:
+            return f"truncated: {signature[1]} bytes on disk, expected {expected}"
+        if meta.checksums is not None:
+            with open(path, "rb") as handle:
+                digest = shard_checksum(handle.read())
+            if digest != meta.checksums[shard]:
+                return (
+                    f"checksum mismatch: manifest records "
+                    f"{meta.checksums[shard]}, file hashes to {digest}"
+                )
+            self._verified[(house_id, shard)] = signature
+        return None
+
+    def verify(self, quarantine: bool = False) -> Dict[str, Dict[int, str]]:
+        """Eagerly check every shard; returns corrupt shards per household.
+
+        The result maps ``house_id -> {shard_index: reason}`` and is empty
+        for a healthy store.  Shards that pass are marked verified, so
+        subsequent memmap opens skip the lazy re-hash.  With
+        ``quarantine=True`` every newly found corrupt shard is moved to
+        ``<store>/quarantine/<house>/`` and annotated in the manifest —
+        later reads raise :class:`ShardCorruptionError` instead of mapping
+        a file known to be bad, and :meth:`repair_shard` can rebuild it.
+        """
+        findings: Dict[str, Dict[int, str]] = {}
+        for house_id, meta in self.households.items():
+            for k in range(meta.n_shards):
+                if k in meta.quarantined:
+                    findings.setdefault(house_id, {})[k] = (
+                        f"quarantined ({meta.quarantined[k]})"
+                    )
+                    continue
+                reason = self._shard_fault_reason(house_id, meta, k)
+                if reason is not None:
+                    findings.setdefault(house_id, {})[k] = reason
+                    if quarantine:
+                        self._quarantine_shard(house_id, k, reason)
+        return findings
+
+    def _quarantine_shard(self, house_id: str, shard: int, reason: str) -> None:
+        """Move one corrupt shard aside and annotate the manifest."""
+        quarantine_dir = os.path.join(self.path, _QUARANTINE_DIR, house_id)
+        os.makedirs(quarantine_dir, exist_ok=True)
+        source = self.shard_path(house_id, shard)
+        if os.path.exists(source):
+            os.replace(source, os.path.join(quarantine_dir, f"{shard:05d}.f32"))
+        entry = self.manifest["households"][house_id]
+        quarantined = dict(entry.get("quarantined", {}))
+        quarantined[str(shard)] = reason
+        entry["quarantined"] = quarantined
+        write_manifest(self.path, self.manifest)
+        self.households[house_id] = self._meta_from_entry(house_id, entry)
+        self._mmaps.pop((house_id, shard), None)
+        self._verified.pop((house_id, shard), None)
+
+    def repair_shard(
+        self,
+        house_id: str,
+        shard: int,
+        channels: Dict[str, np.ndarray],
+        mask: np.ndarray,
+    ) -> str:
+        """Rewrite one shard from full-length household data; returns its digest.
+
+        ``channels``/``mask`` are the household's complete preprocessed
+        series (what :func:`repro.data.ingest.preprocess_household`
+        produces — preprocessing is deterministic, so a re-ingest of the
+        raw corpus reproduces the original bytes).  The shard's slice is
+        rewritten atomically, its manifest checksum refreshed, and any
+        quarantine annotation (and quarantined copy) cleared.
+        """
+        meta = self.house_meta(house_id)
+        if not 0 <= shard < meta.n_shards:
+            raise IndexError(
+                f"house {house_id!r} has {meta.n_shards} shards, asked for {shard}"
+            )
+        names = channel_order(channels)
+        if tuple(names) != meta.channels:
+            raise ValueError(
+                f"house {house_id!r}: repair channels {names} do not match "
+                f"manifest channels {list(meta.channels)}"
+            )
+        n = meta.n_samples
+        if len(mask) != n:
+            raise ValueError(
+                f"house {house_id!r}: repair mask has {len(mask)} samples, "
+                f"manifest records {n}"
+            )
+        for name in names:
+            if len(channels[name]) != n:
+                raise ValueError(
+                    f"house {house_id!r}: repair channel {name!r} has "
+                    f"{len(channels[name])} samples, manifest records {n}"
+                )
+        length = self.shard_length
+        start, stop = shard * length, min((shard + 1) * length, n)
+        sliced = {
+            name: np.asarray(channels[name])[start:stop] for name in names
+        }
+        matrix = _stack_household_matrix(
+            names, sliced, np.asarray(mask, dtype=bool)[start:stop]
+        )
+        payload = _shard_payload(matrix, 0, length, stop - start)
+        os.makedirs(os.path.dirname(self.shard_path(house_id, shard)), exist_ok=True)
+        _atomic_write_bytes(self.shard_path(house_id, shard), payload)
+        digest = shard_checksum(payload)
+        entry = self.manifest["households"][house_id]
+        if entry.get("checksums") is not None:
+            checksums = list(entry["checksums"])
+            checksums[shard] = digest
+            entry["checksums"] = checksums
+        quarantined = dict(entry.get("quarantined", {}))
+        quarantined.pop(str(shard), None)
+        if quarantined:
+            entry["quarantined"] = quarantined
+        else:
+            entry.pop("quarantined", None)
+        write_manifest(self.path, self.manifest)
+        self.households[house_id] = self._meta_from_entry(house_id, entry)
+        self._mmaps.pop((house_id, shard), None)
+        self._verified.pop((house_id, shard), None)
+        quarantine_copy = os.path.join(
+            self.path, _QUARANTINE_DIR, house_id, f"{shard:05d}.f32"
+        )
+        if os.path.exists(quarantine_copy):
+            os.unlink(quarantine_copy)
+        return digest
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -30,7 +30,7 @@ daemon's protocol/metrics specification, and ``docs/data.md`` for the
 store-backed bulk path.
 """
 
-from .client import ScoreResult, ServerError, ServingClient
+from .client import RETRYABLE_CODES, ScoreResult, ServerError, ServingClient
 from .engine import (
     ApplianceSeriesResult,
     ApplianceStoreScores,
@@ -65,4 +65,5 @@ __all__ = [
     "ServingClient",
     "ScoreResult",
     "ServerError",
+    "RETRYABLE_CODES",
 ]

@@ -21,11 +21,13 @@ arrays **bit-identical** to a local ``engine.run`` on the same series.
 from __future__ import annotations
 
 import socket
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..analysis import faults
 from .protocol import (
     FrameReader,
     decode_series,
@@ -34,6 +36,12 @@ from .protocol import (
 )
 
 __all__ = ["ServerError", "ScoreResult", "ServingClient"]
+
+#: ``ServerError`` codes worth retrying: the daemon is alive and said
+#: "later" (backpressure) or "going away" (a rolling restart a fresh
+#: connection may outlive).  Validation errors and internal errors are
+#: not retried — the same request would fail the same way.
+RETRYABLE_CODES = ("overloaded", "draining", "deadline_exceeded")
 
 
 class ServerError(RuntimeError):
@@ -74,18 +82,48 @@ class ServingClient:
         timeout: float = 120.0,
         compact: bool = True,
     ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
         self.compact = compact
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._closed = False
+        self._sock = self._connect()
         self._reader = FrameReader()
         self._next_id = 0
 
     # -- plumbing ---------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _reconnect(self) -> None:
+        """Drop the (possibly dead) connection and dial a fresh one."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        self._sock = self._connect()
+        self._reader = FrameReader()
+
     def _call(self, request: Dict[str, object]) -> Dict[str, object]:
         """One request/response round trip; raises :class:`ServerError`."""
+        if self._closed:
+            raise ConnectionError(
+                f"client for {self.host}:{self.port} is closed; create a new "
+                f"ServingClient to keep talking to the daemon"
+            )
         self._next_id += 1
         request = dict(request, id=self._next_id)
-        self._sock.sendall(encode_frame(request))
+        try:
+            self._sock.sendall(encode_frame(request))
+        except OSError as exc:
+            raise ConnectionError(
+                f"serving daemon at {self.host}:{self.port} is gone "
+                f"mid-request (send failed: {exc}); it may have crashed or "
+                f"been restarted — reconnect (score_with_retry does this "
+                f"automatically)"
+            ) from exc
         response = self._read_frame()
         if response.get("ok"):
             result = response.get("result")
@@ -99,9 +137,16 @@ class ServingClient:
 
     def _read_frame(self) -> Dict[str, object]:
         while True:
+            if faults.ACTIVE is not None:
+                faults.ACTIVE.fire("serve.socket_recv")
             chunk = self._sock.recv(65536)
             if not chunk:
-                raise ConnectionError("server closed the connection mid-response")
+                raise ConnectionError(
+                    f"serving daemon at {self.host}:{self.port} closed the "
+                    f"connection mid-response; it may have crashed or been "
+                    f"restarted — reconnect (score_with_retry does this "
+                    f"automatically)"
+                )
             for frame in self._reader.feed(chunk):
                 return frame
 
@@ -131,6 +176,57 @@ class ServingClient:
             coalesced_windows=int(result.get("coalesced_windows", 0)),
             server_ms=float(result.get("server_ms", 0.0)),
         )
+
+    def score_with_retry(
+        self,
+        appliance: str,
+        series: np.ndarray,
+        max_attempts: int = 5,
+        base_backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        seed: int = 0,
+    ) -> ScoreResult:
+        """:meth:`score_series` with reconnect + capped jittered backoff.
+
+        Retries the failures a healthy client should absorb: connection
+        loss (dial a fresh socket — score requests are idempotent, so a
+        request cut mid-flight is safe to resend) and the retryable
+        ``ServerError`` codes (:data:`RETRYABLE_CODES`).  The sleep
+        before attempt *n* is ``base_backoff_s * 2**(n-1)`` capped at
+        ``max_backoff_s``, scaled by a seeded jitter in ``[0.5, 1.5)``
+        (deterministic per client; jitter de-synchronizes a cohort of
+        retrying clients), and never shorter than the server's own
+        ``retry_after_ms`` hint when one was given.  Non-retryable errors
+        and exhaustion re-raise the last failure.
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        rng = np.random.default_rng(seed)
+        last_error: Optional[BaseException] = None
+        for attempt in range(max_attempts):
+            if attempt > 0:
+                backoff = min(
+                    base_backoff_s * (2.0 ** (attempt - 1)), max_backoff_s
+                )
+                wait = backoff * (0.5 + rng.random())
+                hint = getattr(last_error, "retry_after_ms", None)
+                if hint is not None:
+                    wait = max(wait, float(hint) / 1000.0)
+                time.sleep(wait)
+            try:
+                return self.score_series(appliance, series)
+            except ServerError as exc:
+                if exc.code not in RETRYABLE_CODES:
+                    raise
+                last_error = exc
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+                try:
+                    self._reconnect()
+                except OSError as dial_exc:
+                    last_error = dial_exc
+        assert last_error is not None
+        raise last_error
 
     def submit_store_job(
         self,
@@ -164,6 +260,10 @@ class ServingClient:
 
     # -- lifecycle --------------------------------------------------------
     def close(self) -> None:
+        """Close the connection; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - close is best-effort

@@ -87,6 +87,8 @@ class ServerMetrics:
         self._batches = 0
         self._batched_requests = 0
         self._coalesce_hist: Dict[int, int] = {}
+        self._isolations = 0
+        self._pool_rebuilds = 0
         self.latency = LatencyWindow(latency_capacity)
 
     # -- recording --------------------------------------------------------
@@ -113,6 +115,16 @@ class ServerMetrics:
     def record_latency(self, seconds: float) -> None:
         self.latency.add(seconds)
 
+    def record_isolation(self) -> None:
+        """A coalesced batch failed and was replayed item-by-item."""
+        with self._lock:
+            self._isolations += 1
+
+    def record_pool_rebuild(self) -> None:
+        """A bulk-job process pool broke and was rebuilt."""
+        with self._lock:
+            self._pool_rebuilds += 1
+
     # -- reading ----------------------------------------------------------
     def retry_after_ms(self, queue_depth: int) -> int:
         """Backpressure hint: how long a rejected client should back off.
@@ -138,6 +150,10 @@ class ServerMetrics:
                 "requests": dict(self._requests),
                 "errors": dict(self._errors),
                 "rejected": self._rejected,
+                "recovery": {
+                    "coalesce_isolations": self._isolations,
+                    "pool_rebuilds": self._pool_rebuilds,
+                },
             }
         snap["windows_total"] = windows_total
         snap["windows_per_sec"] = windows_total / uptime if uptime > 0 else 0.0

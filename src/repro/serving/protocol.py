@@ -33,7 +33,8 @@ skipped, the connection survives), ``frame_too_large`` (the connection
 is closed: there is no way to resync inside an oversized line),
 ``bad_request``, ``unknown_op``, ``unknown_appliance``, ``overloaded``
 (queue full — fast reject), ``draining`` (daemon is shutting down),
-``internal``.
+``deadline_exceeded`` (the request outlived its server-side deadline —
+retryable, with a ``retry_after_ms`` hint), ``internal``.
 
 Float fidelity: a float32 value widened to float64 and printed by
 ``json`` round-trips exactly (shortest-repr), so even list-encoded

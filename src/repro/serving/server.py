@@ -55,12 +55,14 @@ import socket
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from hashlib import blake2b
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis import faults
 from ..core.localization import LocalizationOutput
 from .engine import ApplianceSeriesResult, InferenceEngine
 from .metrics import ServerMetrics
@@ -175,6 +177,7 @@ class _PendingScore:
         "batch_requests",
         "batch_windows",
         "cache_hits",
+        "deadline",
     )
 
     def __init__(
@@ -194,6 +197,10 @@ class _PendingScore:
         self.batch_requests = 1  # requests merged into this item's forward
         self.batch_windows = windows.shape[0]
         self.cache_hits = 0
+        #: Absolute ``perf_counter`` deadline set at admission.  The
+        #: coalescer refuses to spend forward time on an item whose
+        #: handler has already given up waiting.
+        self.deadline = float("inf")
 
     def fail(self, code: str, message: str) -> None:
         self.error = (code, message)
@@ -246,6 +253,22 @@ class _Coalescer(threading.Thread):
             self._serve_batch(batch, n_windows)
 
     def _serve_batch(self, batch: List[_PendingScore], n_windows: int) -> None:
+        # Per-request deadline: an item that sat in the queue past its
+        # handler's patience gets a typed (retryable) failure instead of
+        # a share of an expensive forward nobody is waiting for.
+        now = time.perf_counter()
+        expired = [item for item in batch if item.deadline <= now]
+        if expired:
+            for item in expired:
+                item.fail(
+                    "deadline_exceeded",
+                    f"request exceeded its {self.config.request_timeout_s}s "
+                    f"deadline while queued",
+                )
+            batch = [item for item in batch if item.deadline > now]
+            if not batch:
+                return
+            n_windows = sum(item.windows.shape[0] for item in batch)
         if len(batch) == 1:
             stacked = batch[0].windows
         else:
@@ -263,10 +286,21 @@ class _Coalescer(threading.Thread):
                     axis=0,
                 )
         try:
+            if len(batch) > 1 and faults.ACTIVE is not None:
+                faults.ACTIVE.fire("serve.coalesce")
             output, hits = self.engine.localize_windows(self.appliance, stacked)
         except Exception as exc:  # noqa: BLE001 — every waiter must be answered
-            for item in batch:
-                item.fail("internal", f"{type(exc).__name__}: {exc}")
+            if len(batch) > 1:
+                # Exception isolation: replay the cohort item by item so
+                # one poisoned request fails alone.  Batch-size
+                # invariance makes each survivor's solo result
+                # bit-identical to its share of the fused forward.
+                self.metrics.record_isolation()
+                for item in batch:
+                    self._serve_batch([item], item.windows.shape[0])
+                return
+            item = batch[0]
+            item.fail("internal", f"{type(exc).__name__}: {exc}")
             return
         row = 0
         for item in batch:
@@ -340,23 +374,36 @@ def _summarize_household(house_id: str, scores) -> Dict[str, object]:
     }
 
 
+#: How many times a bulk job's broken process pool is rebuilt before the
+#: job fails: a crash-looping fleet (bad model file, OOM on every load)
+#: should error out, not spin forever.
+_MAX_POOL_REBUILDS = 2
+
+
 def _score_store_shard(
     fleet_dir: str,
     engine_config: Dict[str, object],
     store_path: str,
     house_ids: List[str],
     appliances: Optional[List[str]],
+    attempt: int = 0,
 ) -> List[Dict[str, object]]:
     """Worker-process entry of the bulk fan-out: score one household shard.
 
     Runs in a ``spawn`` process pool, so it rebuilds its own engine from
     the persisted fleet — the daemon's in-memory pipelines never cross
-    the process boundary.
+    the process boundary.  ``attempt`` is the parent's retry round for
+    this shard; it keys the ``serve.worker`` fault decision, so a seeded
+    chaos run can kill attempt 0 deterministically and let the retry
+    after the pool rebuild survive (spawn re-imports this module, so the
+    child's fault plan comes from the inherited ``REPRO_FAULTS``).
     """
     from ..api.persistence import load_pipelines
     from ..data.store import MeterStore
     from .engine import EngineConfig
 
+    if faults.ACTIVE is not None:
+        faults.ACTIVE.fire("serve.worker", token=attempt)
     engine = InferenceEngine(EngineConfig(**engine_config))
     for name, estimator in load_pipelines(fleet_dir).items():
         engine.register(name, estimator)
@@ -654,6 +701,7 @@ class ServingDaemon:
             )
 
         item = _PendingScore(appliance, aggregate, plan, windows)
+        item.deadline = t_start + self.config.request_timeout_s
         coalescer = self._coalescer_for(appliance)
         try:
             coalescer.queue.put_nowait(item)
@@ -670,14 +718,15 @@ class ServingDaemon:
             return self._fail(
                 conn,
                 request,
-                "internal",
-                f"request timed out after {self.config.request_timeout_s}s",
+                "deadline_exceeded",
+                f"request exceeded its {self.config.request_timeout_s}s deadline",
+                retry_after_ms=self.metrics.retry_after_ms(self.config.queue_depth),
             )
         if item.error is not None:
             code, message = item.error
             retry = (
                 self.metrics.retry_after_ms(self.config.queue_depth)
-                if code in ("overloaded", "draining")
+                if code in ("overloaded", "draining", "deadline_exceeded")
                 else None
             )
             return self._fail(conn, request, code, message, retry)
@@ -751,7 +800,7 @@ class ServingDaemon:
             )
         t_start = time.perf_counter()
         try:
-            rows, workers_used = self._run_store_job(
+            rows, workers_used, pool_rebuilds = self._run_store_job(
                 store_path, house_ids, appliances, workers
             )
         except KeyError as exc:
@@ -760,6 +809,9 @@ class ServingDaemon:
             return self._fail(
                 conn, request, "bad_request", f"{type(exc).__name__}: {exc}"
             )
+        except RuntimeError as exc:
+            # Worker crashes that survived every pool rebuild.
+            return self._fail(conn, request, "internal", str(exc))
         self._send(
             conn,
             ok_response(
@@ -768,6 +820,7 @@ class ServingDaemon:
                     "store": store_path,
                     "n_households": len(rows),
                     "workers": workers_used,
+                    "pool_rebuilds": pool_rebuilds,
                     "job_ms": (time.perf_counter() - t_start) * 1e3,
                     "rows": rows,
                 },
@@ -780,7 +833,7 @@ class ServingDaemon:
         house_ids: Optional[List[str]],
         appliances: Optional[List[str]],
         workers: int,
-    ) -> Tuple[List[Dict[str, object]], int]:
+    ) -> Tuple[List[Dict[str, object]], int, int]:
         from ..data.store import MeterStore
 
         store = MeterStore(store_path)
@@ -796,7 +849,7 @@ class ServingDaemon:
                     store, houses, appliances
                 )
             ]
-            return rows, 1
+            return rows, 1, 0
         for name in appliances or []:
             if name not in self.engine.pipelines:
                 raise KeyError(f"no pipeline registered for appliance {name!r}")
@@ -807,24 +860,55 @@ class ServingDaemon:
 
         shards = [list(part) for part in np.array_split(houses, workers) if len(part)]
         engine_config = asdict(self.engine.config)
-        rows = []
-        with ProcessPoolExecutor(
-            max_workers=len(shards), mp_context=multiprocessing.get_context("spawn")
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _score_store_shard,
-                    self.fleet_dir,
-                    engine_config,
-                    store_path,
-                    shard,
-                    appliances,
+        spawn_ctx = multiprocessing.get_context("spawn")
+        # Worker-crash recovery: a killed worker (OOM, chaos `kill`)
+        # breaks the whole pool, losing even shards whose futures had not
+        # started.  Rebuild the pool and resubmit only the shards without
+        # results, bumping `attempt` so seeded fault decisions can change
+        # between rounds.  Completed shard rows are never recomputed, and
+        # input order is preserved by reassembling in shard order.
+        results: List[Optional[List[Dict[str, object]]]] = [None] * len(shards)
+        pending = list(range(len(shards)))
+        rebuilds = 0
+        pool = ProcessPoolExecutor(max_workers=len(shards), mp_context=spawn_ctx)
+        try:
+            for attempt in range(_MAX_POOL_REBUILDS + 1):
+                futures = {
+                    index: pool.submit(
+                        _score_store_shard,
+                        self.fleet_dir,
+                        engine_config,
+                        store_path,
+                        shards[index],
+                        appliances,
+                        attempt,
+                    )
+                    for index in pending
+                }
+                failed = []
+                for index, future in futures.items():
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        failed.append(index)
+                if not failed:
+                    break
+                pending = failed
+                if attempt == _MAX_POOL_REBUILDS:
+                    raise RuntimeError(
+                        f"store job workers for {len(pending)} shard(s) kept "
+                        f"crashing after {rebuilds} pool rebuild(s); giving up"
+                    )
+                pool.shutdown(wait=False)
+                pool = ProcessPoolExecutor(
+                    max_workers=len(pending), mp_context=spawn_ctx
                 )
-                for shard in shards
-            ]
-            for future in futures:
-                rows.extend(future.result())
-        return rows, len(shards)
+                rebuilds += 1
+                self.metrics.record_pool_rebuild()
+        finally:
+            pool.shutdown(wait=False)
+        rows = [row for shard_rows in results for row in shard_rows]
+        return rows, len(shards), rebuilds
 
     # -- metrics / shutdown ops -------------------------------------------
     def _metrics_snapshot(self) -> Dict[str, object]:

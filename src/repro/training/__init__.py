@@ -21,10 +21,12 @@ unchanged; ``from repro.training import train_classifier`` keeps working.
 
 from .checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
+    CheckpointCorruptionError,
     TrainingCheckpoint,
     capture_rng_state,
     checkpoint_exists,
     load_checkpoint,
+    load_latest_checkpoint,
     restore_rng_state,
     save_checkpoint,
     state_dicts_equal,
@@ -58,6 +60,8 @@ __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "save_checkpoint",
     "load_checkpoint",
+    "load_latest_checkpoint",
+    "CheckpointCorruptionError",
     "checkpoint_exists",
     "capture_rng_state",
     "restore_rng_state",

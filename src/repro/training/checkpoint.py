@@ -15,17 +15,31 @@ Checkpoints are single ``.npz`` archives written atomically (tmp file +
 ``os.replace``), so a run killed mid-write still leaves the previous
 checkpoint intact.  Array payloads live as npz entries; scalar state,
 histories and RNG states travel in one JSON header entry.
+
+Durability on top of atomicity: every save keeps the last *k* snapshots
+(``path``, ``path.1``, …, newest first; ``k`` from ``REPRO_CKPT_KEEP``,
+default 2) and writes a blake2b checksum sidecar (``path.sum``) next to
+each.  :func:`load_checkpoint` proves integrity before deserializing —
+a torn or bit-flipped archive raises :class:`CheckpointCorruptionError`
+instead of resuming from garbage — and :func:`load_latest_checkpoint`
+walks newest → oldest to resume from the newest *intact* snapshot, so a
+crash mid-checkpoint-write costs at most one epoch of progress, never
+the run.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
 import os
+import zipfile
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis import faults
 from ..nn.modules import Module
 
 CHECKPOINT_FORMAT_VERSION = 1
@@ -34,6 +48,34 @@ _META_KEY = "__meta__"
 _MODEL_PREFIX = "model."
 _BEST_PREFIX = "best."
 _OPT_PREFIX = "opt."
+
+#: How many checkpoint generations to keep (newest first); overridable
+#: per save via the ``keep`` argument.
+CKPT_KEEP_ENV = "REPRO_CKPT_KEEP"
+DEFAULT_CKPT_KEEP = 2
+
+_CHECKSUM_SUFFIX = ".sum"
+
+
+class CheckpointCorruptionError(RuntimeError):
+    """A checkpoint archive fails its checksum or cannot be deserialized."""
+
+
+def _resolve_keep(keep: Optional[int]) -> int:
+    if keep is None:
+        keep = int(os.environ.get(CKPT_KEEP_ENV, DEFAULT_CKPT_KEEP))
+    if keep < 1:
+        raise ValueError(f"checkpoint keep count must be >= 1, got {keep}")
+    return keep
+
+
+def _rotated_path(path: str, generation: int) -> str:
+    """``path`` for the newest snapshot, ``path.N`` for older generations."""
+    return path if generation == 0 else f"{path}.{generation}"
+
+
+def _checkpoint_digest(payload: bytes) -> str:
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
 
 
 @dataclass
@@ -138,8 +180,17 @@ def _rebuild_optimizer_state(
     return state
 
 
-def save_checkpoint(path: str, checkpoint: TrainingCheckpoint) -> None:
-    """Write ``checkpoint`` to ``path`` (a ``.npz`` archive), atomically."""
+def save_checkpoint(
+    path: str, checkpoint: TrainingCheckpoint, keep: Optional[int] = None
+) -> None:
+    """Write ``checkpoint`` to ``path`` (a ``.npz`` archive), atomically.
+
+    Keeps the last ``keep`` generations (default ``REPRO_CKPT_KEEP``,
+    falling back to 2): before the new archive lands on ``path``, the
+    previous one rotates to ``path.1`` (and so on), each with its
+    checksum sidecar, so resume always has an older intact snapshot to
+    fall back to if the newest write was torn.
+    """
     payload: Dict[str, np.ndarray] = {}
     for name, value in checkpoint.model_state.items():
         payload[_MODEL_PREFIX + name] = value
@@ -167,22 +218,99 @@ def save_checkpoint(path: str, checkpoint: TrainingCheckpoint) -> None:
     }
     payload[_META_KEY] = np.asarray(json.dumps(meta))
 
+    buffer = io.BytesIO()
+    np.savez(buffer, **payload)
+    data = buffer.getvalue()
+    # The sidecar records the digest of the *intended* bytes, so a torn
+    # or bit-flipped write (injected below, or real) is provable on load.
+    digest = _checkpoint_digest(data)
+    if faults.ACTIVE is not None:
+        data = faults.ACTIVE.fire(
+            "train.checkpoint_write", token=os.path.basename(path), payload=data
+        )
+
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
+    keep = _resolve_keep(keep)
+    # Rotate newest -> oldest so generation N-1 lands on N; archives and
+    # sidecars move together.  Stale generations beyond ``keep`` (from an
+    # earlier run with a larger keep) are pruned.
+    for generation in range(keep - 1, 0, -1):
+        source = _rotated_path(path, generation - 1)
+        if os.path.exists(source):
+            os.replace(source, _rotated_path(path, generation))
+            source_sum = source + _CHECKSUM_SUFFIX
+            if os.path.exists(source_sum):
+                os.replace(
+                    source_sum, _rotated_path(path, generation) + _CHECKSUM_SUFFIX
+                )
+    generation = keep
+    while os.path.exists(_rotated_path(path, generation)):
+        os.unlink(_rotated_path(path, generation))
+        stale_sum = _rotated_path(path, generation) + _CHECKSUM_SUFFIX
+        if os.path.exists(stale_sum):
+            os.unlink(stale_sum)
+        generation += 1
+
     tmp_path = path + ".tmp"
     with open(tmp_path, "wb") as handle:
-        np.savez(handle, **payload)
+        handle.write(data)
     os.replace(tmp_path, path)
+    sum_tmp = path + _CHECKSUM_SUFFIX + ".tmp"
+    with open(sum_tmp, "w") as handle:
+        handle.write(digest + "\n")
+    os.replace(sum_tmp, path + _CHECKSUM_SUFFIX)
 
 
 def checkpoint_exists(path: Optional[str]) -> bool:
     return path is not None and os.path.exists(path)
 
 
+def _verify_checkpoint_bytes(path: str) -> None:
+    """Raise :class:`CheckpointCorruptionError` if ``path`` fails its sidecar.
+
+    Archives without a sidecar (written before checksums existed, or
+    whose sidecar was lost) skip straight to deserialization — the npz
+    container's own structure still catches gross truncation there.
+    """
+    sum_path = path + _CHECKSUM_SUFFIX
+    if not os.path.exists(sum_path):
+        return
+    with open(sum_path) as handle:
+        expected = handle.read().strip()
+    with open(path, "rb") as handle:
+        actual = _checkpoint_digest(handle.read())
+    if actual != expected:
+        raise CheckpointCorruptionError(
+            f"{path}: checkpoint bytes hash to {actual}, sidecar records "
+            f"{expected} — the archive is torn or bit-rotted"
+        )
+
+
 def load_checkpoint(path: str) -> TrainingCheckpoint:
-    """Reload an archive written by :func:`save_checkpoint`."""
-    with np.load(path, allow_pickle=False) as archive:
-        meta = json.loads(str(archive[_META_KEY]))
+    """Reload an archive written by :func:`save_checkpoint`.
+
+    Integrity failures — sidecar checksum mismatch, torn/unparseable
+    archive — raise :class:`CheckpointCorruptionError`; a missing file
+    stays ``FileNotFoundError`` and an honest format-version mismatch
+    stays ``ValueError``.  Corrupt archives never deserialize.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    _verify_checkpoint_bytes(path)
+    try:
+        archive_ctx = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise CheckpointCorruptionError(
+            f"{path}: cannot open checkpoint archive ({exc})"
+        ) from exc
+    with archive_ctx as archive:
+        try:
+            meta = json.loads(str(archive[_META_KEY]))
+        except (KeyError, ValueError, zipfile.BadZipFile) as exc:
+            raise CheckpointCorruptionError(
+                f"{path}: checkpoint metadata unreadable ({exc})"
+            ) from exc
         version = meta.get("format_version")
         if version != CHECKPOINT_FORMAT_VERSION:
             raise ValueError(f"unsupported checkpoint format_version {version!r}")
@@ -215,3 +343,31 @@ def load_checkpoint(path: str) -> TrainingCheckpoint:
         stopped_early=bool(meta["stopped_early"]),
         config_fingerprint=meta.get("config_fingerprint"),
     )
+
+
+def load_latest_checkpoint(
+    path: Optional[str],
+) -> Optional[Tuple[TrainingCheckpoint, str]]:
+    """Resume helper: the newest *intact* snapshot in the rotation.
+
+    Walks ``path``, ``path.1``, ``path.2``, … (newest first), skipping
+    generations that fail their checksum or cannot be deserialized, and
+    returns ``(checkpoint, loaded_path)`` for the first one that loads —
+    or ``None`` when no generation exists or every one is corrupt (the
+    caller starts from scratch rather than crashing on a torn archive).
+    Honest config errors (format-version mismatch) still raise.
+    """
+    if path is None:
+        return None
+    generation = 0
+    while True:
+        candidate = _rotated_path(path, generation)
+        if not os.path.exists(candidate):
+            if generation == 0:
+                generation += 1
+                continue  # path may be gone but a rotation may survive
+            return None
+        try:
+            return load_checkpoint(candidate), candidate
+        except CheckpointCorruptionError:
+            generation += 1

@@ -29,8 +29,7 @@ from ..nn.tensor import Tensor
 from .checkpoint import (
     TrainingCheckpoint,
     capture_rng_state,
-    checkpoint_exists,
-    load_checkpoint,
+    load_latest_checkpoint,
     restore_rng_state,
     save_checkpoint,
 )
@@ -136,8 +135,12 @@ def _run_epochs(
     path = config.checkpoint_path
     fingerprint = _resume_fingerprint(config)
 
-    if path and config.resume and checkpoint_exists(path):
-        snapshot = load_checkpoint(path)
+    # Resume from the newest *intact* generation: a torn newest archive
+    # (crash mid-write, bit rot) falls back to the previous rotation
+    # instead of aborting the run.
+    loaded = load_latest_checkpoint(path) if path and config.resume else None
+    if loaded is not None:
+        snapshot, loaded_path = loaded
         if snapshot.config_fingerprint is not None:
             saved = snapshot.config_fingerprint
             drifted = sorted(
@@ -147,14 +150,14 @@ def _run_epochs(
             )
             if drifted:
                 raise ValueError(
-                    f"checkpoint {path!r} was written under a different "
+                    f"checkpoint {loaded_path!r} was written under a different "
                     f"training config (mismatched: {drifted}); resuming "
                     f"would follow a trajectory matching neither run — "
                     f"delete the checkpoint or match the config"
                 )
         if snapshot.epoch > config.epochs:
             raise ValueError(
-                f"checkpoint {path!r} already trained {snapshot.epoch} "
+                f"checkpoint {loaded_path!r} already trained {snapshot.epoch} "
                 f"epochs but config.epochs={config.epochs}; shrinking a "
                 f"finished run is ambiguous — delete the checkpoint or "
                 f"raise config.epochs"
@@ -165,7 +168,7 @@ def _run_epochs(
         except KeyError as exc:
             # Backstop for fingerprint-less (hand-built) checkpoints.
             raise ValueError(
-                f"checkpoint {path!r} was written by a different optimizer "
+                f"checkpoint {loaded_path!r} was written by a different optimizer "
                 f"than config.optimizer={config.optimizer!r} (missing state "
                 f"entry {exc}); delete the checkpoint or match the config"
             ) from None

@@ -454,6 +454,79 @@ class TestWaivers:
 
 
 # ----------------------------------------------------------------------
+# ERR001 — no silent error swallowing
+# ----------------------------------------------------------------------
+class TestErrorSwallowRule:
+    def test_err001_bare_except(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    return None
+            """,
+        )
+        assert rules_of(report) == ["ERR001"]
+        assert "SystemExit" in report.violations[0].message
+
+    def test_err001_exception_wide_pass(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def close(handle):
+                try:
+                    handle.close()
+                except Exception:
+                    pass
+
+            def close2(handle):
+                try:
+                    handle.close()
+                except (ValueError, BaseException):
+                    ...
+            """,
+        )
+        assert rules_of(report) == ["ERR001", "ERR001"]
+
+    def test_err001_good_typed_or_handled(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def close(handle):
+                try:
+                    handle.close()
+                except OSError:
+                    pass  # narrow best-effort close stays legal
+
+            def guard(fn):
+                try:
+                    return fn()
+                except Exception as exc:
+                    raise RuntimeError(f"wrapped: {exc}") from exc
+            """,
+        )
+        assert rules_of(report) == []
+
+    def test_err001_waivable(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def reap(children):
+                for child in children:
+                    try:
+                        child.kill()
+                    # repro: waive[ERR001] teardown must survive any child state
+                    except Exception:
+                        pass
+            """,
+        )
+        assert rules_of(report) == []
+        assert [v.rule for v in report.waived] == ["ERR001"]
+
+
+# ----------------------------------------------------------------------
 # The repo's own tree + CLI
 # ----------------------------------------------------------------------
 class TestRepoTree:

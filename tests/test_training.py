@@ -344,7 +344,9 @@ class TestParallelEnsemble:
         x, y = self._data()
         directory = str(tmp_path / "ensemble")
         first, _ = train_ensemble(x, y, x, y, self._config(), checkpoint_dir=directory)
-        files = sorted(os.listdir(directory))
+        files = sorted(
+            name for name in os.listdir(directory) if name.endswith(".npz")
+        )
         # candidate_i<ki>_k<ks>_t<trial>_s<seed>_d<task digest>.npz
         assert [name.split("_d")[0] for name in files] == [
             "candidate_i0_k3_t0_s30",
@@ -373,7 +375,8 @@ class TestParallelEnsemble:
         seed0, _ = train_ensemble(x, y, x, y, self._config(), checkpoint_dir=directory)
         config1 = dataclasses.replace(self._config(), seed=1)
         seed1, _ = train_ensemble(x, y, x, y, config1, checkpoint_dir=directory)
-        assert len(os.listdir(directory)) == 4  # two fresh files, not reuse
+        current = [n for n in os.listdir(directory) if n.endswith(".npz")]
+        assert len(current) == 4  # two fresh files, not reuse
         differs = any(
             not _states_equal(a.state_dict(), b.state_dict())
             for a, b in zip(seed0.models, seed1.models)
@@ -391,7 +394,8 @@ class TestParallelEnsemble:
             x2, y2.astype(np.int64), x2, y2.astype(np.int64),
             self._config(), checkpoint_dir=directory,
         )
-        assert len(os.listdir(directory)) == 4  # no filename collision
+        current = [n for n in os.listdir(directory) if n.endswith(".npz")]
+        assert len(current) == 4  # no filename collision
         differs = any(
             not _states_equal(a.state_dict(), b.state_dict())
             for a, b in zip(first.models, second.models)
